@@ -1,0 +1,179 @@
+// Command crono-validate self-checks the suite: every kernel runs on
+// randomized inputs on both platforms and its output is compared against
+// the sequential oracle. Exit status 0 means all checks passed.
+//
+// Usage:
+//
+//	crono-validate                 # default 20 trials
+//	crono-validate -trials 100 -seed 7 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/native"
+	"crono/internal/sim"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 20, "randomized trials per kernel")
+		seed    = flag.Int64("seed", 1, "base seed")
+		verbose = flag.Bool("v", false, "print every check")
+	)
+	flag.Parse()
+
+	failures := 0
+	for trial := 0; trial < *trials; trial++ {
+		s := *seed + int64(trial)
+		rng := rand.New(rand.NewSource(s))
+		n := rng.Intn(300) + 8
+		deg := rng.Intn(5) + 1
+		g := graph.UniformSparse(n, deg, int32(rng.Intn(90)+10), s)
+		d := graph.DenseFromCSR(graph.UniformSparse(rng.Intn(40)+8, 3, 20, s+1))
+		cities := graph.Cities(rng.Intn(4)+5, s+2)
+		threads := rng.Intn(8) + 1
+
+		var pl exec.Platform = native.New()
+		plName := "native"
+		if trial%2 == 1 {
+			cfg := sim.Default()
+			cfg.Cores = 16
+			m, err := sim.New(cfg)
+			if err != nil {
+				fail(&failures, "sim setup: %v", err)
+				continue
+			}
+			pl = m
+			plName = "sim"
+		}
+
+		check := func(name string, ok bool, detail string) {
+			if ok {
+				if *verbose {
+					fmt.Printf("ok   trial=%d %s on %s (n=%d p=%d)\n", trial, name, plName, n, threads)
+				}
+				return
+			}
+			fail(&failures, "trial=%d %s on %s (n=%d p=%d): %s", trial, name, plName, n, threads, detail)
+		}
+
+		if res, err := core.SSSP(pl, g, 0, threads); err != nil {
+			check("SSSP", false, err.Error())
+		} else {
+			check("SSSP", equalInt32(res.Dist, core.SSSPRef(g, 0)), "distances diverge")
+		}
+		if res, err := core.BFS(pl, g, 0, threads); err != nil {
+			check("BFS", false, err.Error())
+		} else {
+			check("BFS", equalInt32(res.Level, core.BFSRef(g, 0)), "levels diverge")
+		}
+		if res, err := core.DFS(pl, g, 0, threads); err != nil {
+			check("DFS", false, err.Error())
+		} else {
+			check("DFS", equalBool(res.Visited, core.DFSRef(g, 0)), "reachability diverges")
+		}
+		if res, err := core.APSP(pl, d, threads); err != nil {
+			check("APSP", false, err.Error())
+		} else {
+			check("APSP", equalInt32(res.Dist, core.FloydWarshallRef(d)), "matrix diverges")
+		}
+		if res, err := core.Betweenness(pl, d, threads); err != nil {
+			check("BETW_CENT", false, err.Error())
+		} else {
+			check("BETW_CENT", equalInt64(res.Centrality, core.BetweennessRef(d)), "centralities diverge")
+		}
+		if res, err := core.TSP(pl, cities, threads); err != nil {
+			check("TSP", false, err.Error())
+		} else {
+			check("TSP", res.Cost == core.TSPRef(cities), "tour not optimal")
+		}
+		if res, err := core.ConnectedComponents(pl, g, threads); err != nil {
+			check("CONN_COMP", false, err.Error())
+		} else {
+			check("CONN_COMP", equalInt32(res.Labels, core.ComponentsRef(g)), "labels diverge")
+		}
+		if res, err := core.TriangleCount(pl, g, threads); err != nil {
+			check("TRI_CNT", false, err.Error())
+		} else {
+			check("TRI_CNT", res.Total == core.TriangleCountRef(g), "counts diverge")
+		}
+		if res, err := core.PageRank(pl, g, threads, 6); err != nil {
+			check("PageRank", false, err.Error())
+		} else {
+			check("PageRank", closeFloat(res.Ranks, core.PageRankRef(g, 6)), "ranks diverge")
+		}
+		if res, err := core.Community(pl, g, threads, 6); err != nil {
+			check("COMM", false, err.Error())
+		} else {
+			ok := res.Modularity >= -0.5 && res.Modularity <= 1
+			check("COMM", ok, fmt.Sprintf("modularity %g out of bounds", res.Modularity))
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "crono-validate: %d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("crono-validate: all checks passed (%d trials x 10 kernels)\n", *trials)
+}
+
+func fail(counter *int, format string, args ...any) {
+	*counter++
+	fmt.Fprintf(os.Stderr, "FAIL "+format+"\n", args...)
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalBool(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func closeFloat(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}

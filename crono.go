@@ -1,0 +1,255 @@
+// Package crono is a Go reproduction of CRONO, the benchmark suite for
+// multithreaded graph algorithms executing on futuristic multicores
+// (Ahmad, Hijaz, Shi, Khan — IISWC 2015).
+//
+// It provides:
+//
+//   - the ten CRONO graph kernels (SSSP, APSP, betweenness centrality,
+//     BFS, DFS, TSP, connected components, triangle counting, PageRank
+//     and Louvain community detection), parallelized with the paper's
+//     strategies (graph division, vertex capture, branch and bound);
+//   - two execution platforms behind one abstraction: a native goroutine
+//     platform (the paper's "real machine setup") and a detailed
+//     futuristic-multicore simulator (256 tiles, private L1s, NUCA L2,
+//     ACKWise-4 MESI directory, 2-D mesh NoC, 11 nm energy model);
+//   - synthetic input generators standing in for the paper's GTgraph and
+//     SNAP graphs;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation section.
+//
+// Quick start:
+//
+//	g := crono.GenerateGraph(crono.GraphSparse, 1<<16, 42)
+//	res, err := crono.SSSP(crono.NewNative(), g, 0, 8)
+//	fmt.Println(res.Dist[100], res.Report.Time)
+//
+// To characterize a kernel on the simulated 256-core machine:
+//
+//	m, _ := crono.NewSimulator(crono.DefaultSimConfig())
+//	res, _ := crono.BFS(m, g, 0, 64)
+//	fmt.Println(res.Report.Breakdown.Fractions())
+package crono
+
+import (
+	"io"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/harness"
+	"crono/internal/native"
+	"crono/internal/sim"
+)
+
+// Platform abstracts where a kernel executes: real hardware or the
+// simulated multicore. See exec.Platform for the contract.
+type Platform = exec.Platform
+
+// Report is the result of one parallel run: completion time, the paper's
+// six-component breakdown, per-thread instruction counts, cache and
+// energy statistics.
+type Report = exec.Report
+
+// Graph is a weighted graph in compressed-sparse-row form.
+type Graph = graph.CSR
+
+// Dense is a weighted adjacency matrix (APSP, BETW_CENT and TSP inputs).
+type Dense = graph.Dense
+
+// Edge is one weighted directed edge.
+type Edge = graph.Edge
+
+// GraphKind selects a Table III input family.
+type GraphKind = graph.Kind
+
+// Input-graph families (Table III).
+const (
+	GraphSparse GraphKind = graph.KindSparse
+	GraphRoadTX GraphKind = graph.KindRoadTX
+	GraphRoadPA GraphKind = graph.KindRoadPA
+	GraphRoadCA GraphKind = graph.KindRoadCA
+	GraphSocial GraphKind = graph.KindSocial
+)
+
+// SimConfig configures the simulated multicore (Table II).
+type SimConfig = sim.Config
+
+// CoreType selects the simulated compute pipeline.
+type CoreType = sim.CoreType
+
+// Simulated core models (Table II).
+const (
+	CoreInOrder    CoreType = sim.InOrder
+	CoreOutOfOrder CoreType = sim.OutOfOrder
+)
+
+// Benchmark describes one suite entry.
+type Benchmark = core.Benchmark
+
+// BenchmarkInput bundles the inputs a Benchmark.Run expects.
+type BenchmarkInput = core.Input
+
+// Result types of the ten kernels.
+type (
+	SSSPResult          = core.SSSPResult
+	APSPResult          = core.APSPResult
+	BetweennessResult   = core.BetweennessResult
+	BFSResult           = core.BFSResult
+	DFSResult           = core.DFSResult
+	TSPResult           = core.TSPResult
+	ComponentsResult    = core.ComponentsResult
+	TriangleCountResult = core.TriangleCountResult
+	PageRankResult      = core.PageRankResult
+	CommunityResult     = core.CommunityResult
+)
+
+// NewNative returns the real-machine platform: kernels run on host
+// goroutines at full speed.
+func NewNative() Platform { return native.New() }
+
+// DefaultSimConfig returns the paper's Table II machine configuration.
+func DefaultSimConfig() SimConfig { return sim.Default() }
+
+// NewSimulator builds a simulated multicore from cfg.
+func NewSimulator(cfg SimConfig) (Platform, error) { return sim.New(cfg) }
+
+// GenerateGraph builds a synthetic input graph of the given family with
+// approximately n vertices, deterministically from seed.
+func GenerateGraph(kind GraphKind, n int, seed int64) *Graph {
+	return graph.Generate(kind, n, seed)
+}
+
+// GenerateCities builds a TSP instance of n cities with Euclidean
+// distances.
+func GenerateCities(n int, seed int64) *Dense { return graph.Cities(n, seed) }
+
+// DenseFromGraph converts a CSR graph to the adjacency-matrix form that
+// APSP and Betweenness consume.
+func DenseFromGraph(g *Graph) *Dense { return graph.DenseFromCSR(g) }
+
+// ReadGraph parses a SNAP-style edge list.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes a graph as a SNAP-style edge list.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return graph.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes a MatrixMarket coordinate integer matrix.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return graph.WriteMatrixMarket(w, g) }
+
+// ReadMETIS parses a METIS graph file.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(r) }
+
+// WriteMETIS writes a symmetric graph in METIS format.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// Suite returns the ten benchmarks in paper order.
+func Suite() []Benchmark { return core.Suite() }
+
+// BenchmarkByName finds a benchmark by its paper identifier
+// (e.g. "SSSP_DIJK").
+func BenchmarkByName(name string) (Benchmark, error) { return core.ByName(name) }
+
+// SSSP runs single-source shortest paths (Dijkstra over pareto fronts).
+func SSSP(pl Platform, g *Graph, source, threads int) (*SSSPResult, error) {
+	return core.SSSP(pl, g, source, threads)
+}
+
+// APSP runs all-pairs shortest paths by vertex capture.
+func APSP(pl Platform, d *Dense, threads int) (*APSPResult, error) {
+	return core.APSP(pl, d, threads)
+}
+
+// Betweenness runs betweenness centrality (APSP phase + centrality loop).
+func Betweenness(pl Platform, d *Dense, threads int) (*BetweennessResult, error) {
+	return core.Betweenness(pl, d, threads)
+}
+
+// BFS runs level-synchronous breadth-first search.
+func BFS(pl Platform, g *Graph, source, threads int) (*BFSResult, error) {
+	return core.BFS(pl, g, source, threads)
+}
+
+// DFS runs branch-parallel depth-first search.
+func DFS(pl Platform, g *Graph, source, threads int) (*DFSResult, error) {
+	return core.DFS(pl, g, source, threads)
+}
+
+// TSP runs the branch-and-bound travelling salesman benchmark.
+func TSP(pl Platform, cities *Dense, threads int) (*TSPResult, error) {
+	return core.TSP(pl, cities, threads)
+}
+
+// ConnectedComponents runs label-propagation connected components.
+func ConnectedComponents(pl Platform, g *Graph, threads int) (*ComponentsResult, error) {
+	return core.ConnectedComponents(pl, g, threads)
+}
+
+// TriangleCount runs exact triangle counting.
+func TriangleCount(pl Platform, g *Graph, threads int) (*TriangleCountResult, error) {
+	return core.TriangleCount(pl, g, threads)
+}
+
+// PageRank runs the paper's Equation (1) PageRank for iters iterations.
+func PageRank(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error) {
+	return core.PageRank(pl, g, threads, iters)
+}
+
+// Community runs parallel Louvain community detection.
+func Community(pl Platform, g *Graph, threads, maxPasses int) (*CommunityResult, error) {
+	return core.Community(pl, g, threads, maxPasses)
+}
+
+// Variant result types.
+type (
+	BFSTargetResult = core.BFSTargetResult
+	BrandesResult   = core.BrandesResult
+)
+
+// SSSPDelta runs delta-stepping shortest paths: wider pareto fronts trade
+// extra relaxations for fewer synchronization rounds, relaxing the
+// barrier wall that caps SSSP at high thread counts.
+func SSSPDelta(pl Platform, g *Graph, source, threads int, delta int32) (*SSSPResult, error) {
+	return core.SSSPDelta(pl, g, source, threads, delta)
+}
+
+// BFSTarget searches for a target vertex with level-synchronous BFS and
+// early exit, as the paper's Section III-4 describes.
+func BFSTarget(pl Platform, g *Graph, source, target, threads int) (*BFSTargetResult, error) {
+	return core.BFSTarget(pl, g, source, target, threads)
+}
+
+// BetweennessBrandes computes exact unweighted betweenness centrality
+// with the work-efficient Brandes algorithm (sources by vertex capture).
+func BetweennessBrandes(pl Platform, g *Graph, threads int) (*BrandesResult, error) {
+	return core.BetweennessBrandes(pl, g, threads)
+}
+
+// PageRankPull runs Equation (1) PageRank in pull form, eliminating the
+// per-edge atomic locks of the push formulation.
+func PageRankPull(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error) {
+	return core.PageRankPull(pl, g, threads, iters)
+}
+
+// Modularity evaluates Newman modularity of a community assignment.
+func Modularity(g *Graph, community []int32) float64 { return core.Modularity(g, community) }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = harness.Experiment
+
+// ExperimentConfig parametrizes experiment runs.
+type ExperimentConfig = harness.Config
+
+// Experiments lists every regenerable table and figure.
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID finds an experiment (e.g. "fig1", "tab4").
+func ExperimentByID(id string) (Experiment, error) { return harness.ByID(id) }
+
+// DefaultExperimentConfig returns the standard experiment configuration
+// writing to out.
+func DefaultExperimentConfig(out io.Writer) *ExperimentConfig {
+	return harness.DefaultConfig(out)
+}

@@ -1,0 +1,57 @@
+// Archstudy: architectural design-space exploration on the simulated
+// futuristic multicore — the use case CRONO was built for. Compares
+// in-order cores, out-of-order cores and the Section VII locality-aware
+// coherence protocol on PageRank, the suite's most sharing-intensive
+// kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crono"
+)
+
+func main() {
+	g := crono.GenerateGraph(crono.GraphSparse, 1<<13, 42)
+	fmt.Printf("input: sparse synthetic, %d vertices, %d edges\n\n", g.N, g.M())
+
+	type variant struct {
+		name   string
+		mutate func(*crono.SimConfig)
+	}
+	variants := []variant{
+		{"in-order (Table II)", func(*crono.SimConfig) {}},
+		{"out-of-order", func(c *crono.SimConfig) { c.CoreType = crono.CoreOutOfOrder }},
+		{"locality-aware coherence", func(c *crono.SimConfig) { c.LocalityAware = true }},
+		{"full-map directory", func(c *crono.SimConfig) { c.DirPointers = c.Cores }},
+	}
+
+	const threads = 32
+	fmt.Printf("PageRank on %d of 256 simulated cores:\n\n", threads)
+	fmt.Printf("%-26s %12s %8s %8s %8s\n", "configuration", "cycles", "L1miss%", "net-kFH", "sync%")
+	var base uint64
+	for _, v := range variants {
+		cfg := crono.DefaultSimConfig()
+		v.mutate(&cfg)
+		m, err := crono.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := crono.PageRank(m, g, threads, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := res.Report
+		if base == 0 {
+			base = rep.Time
+		}
+		f := rep.Breakdown.Fractions()
+		fmt.Printf("%-26s %12d %8.2f %8d %8.1f  (%.2fx)\n",
+			v.name, rep.Time, rep.Cache.L1MissRate(),
+			rep.NetworkFlitHops/1000, 100*f[5],
+			float64(base)/float64(rep.Time))
+	}
+	fmt.Println("\nAs in the paper: OOO cores hide some memory latency but none of the")
+	fmt.Println("coherence serialization; locality-aware caching cuts on-chip traffic.")
+}

@@ -1,0 +1,73 @@
+// Roadnet: the paper's path-planning motivation (self-driving cars).
+// Builds a road-network-like graph, plans routes with SSSP, measures
+// reachability with BFS, and shows how both scale with threads on the
+// host.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crono"
+)
+
+func main() {
+	// A synthetic road network: near-planar lattice with dead ends and
+	// a few highways, matching SNAP roadNet-* degree statistics.
+	g := crono.GenerateGraph(crono.GraphRoadTX, 250_000, 7)
+	fmt.Printf("road network: %d intersections, %d road segments (avg degree %.2f)\n",
+		g.N, g.M(), g.AvgDegree())
+
+	pl := crono.NewNative()
+
+	// Route planning: shortest paths from a depot.
+	const depot = 0
+	sssp, err := crono.SSSP(pl, g, depot, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach := 0
+	for _, d := range sssp.Dist {
+		if d < 1<<29 {
+			reach++
+		}
+	}
+	fmt.Printf("route planning: %d intersections reachable from the depot (%d pareto fronts)\n",
+		reach, sssp.Rounds)
+
+	// Hop-count service area: how many intersections lie within k hops.
+	bfs, err := crono.BFS(pl, g, depot, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	within := 0
+	for _, l := range bfs.Level {
+		if l >= 0 && l <= 50 {
+			within++
+		}
+	}
+	fmt.Printf("service area: %d intersections within 50 hops (graph eccentricity %d)\n",
+		within, bfs.Levels-1)
+
+	// Thread scaling on the host: road networks have huge diameters, so
+	// SSSP opens many small pareto fronts and scales worse than BFS —
+	// the same contrast the paper characterizes.
+	fmt.Println("\nthreads  SSSP-speedup  BFS-speedup")
+	var ssspSeq, bfsSeq uint64
+	for _, p := range []int{1, 2, 4, 8} {
+		s, err := crono.SSSP(pl, g, depot, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := crono.BFS(pl, g, depot, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == 1 {
+			ssspSeq, bfsSeq = s.Report.Time, b.Report.Time
+		}
+		fmt.Printf("%7d  %12.2f  %11.2f\n", p,
+			float64(ssspSeq)/float64(s.Report.Time),
+			float64(bfsSeq)/float64(b.Report.Time))
+	}
+}

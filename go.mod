@@ -1,0 +1,3 @@
+module crono
+
+go 1.22

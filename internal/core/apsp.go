@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"crono/internal/exec"
+	"crono/internal/graph"
+)
+
+// APSPResult carries the output of the APSP benchmark.
+type APSPResult struct {
+	// Dist is the row-major all-pairs distance matrix.
+	Dist []int32
+	// N is the vertex count.
+	N int
+	// Report is the platform run report.
+	Report *exec.Report
+}
+
+// At returns the shortest distance from s to t.
+func (r *APSPResult) At(s, t int) int32 { return r.Dist[s*r.N+t] }
+
+// apspState bundles the shared pieces of the APSP kernel so that
+// Betweenness can run the identical phase before its centrality loop.
+type apspState struct {
+	d      *graph.Dense
+	dist   []int32
+	nextSr int // vertex-capture cursor, guarded by capture lock
+	rMat   exec.Region
+	rDist  exec.Region
+	rCur   exec.Region
+	rLoc   []exec.Region // per-thread local arrays
+	capt   exec.Lock
+}
+
+func newAPSPState(pl exec.Platform, d *graph.Dense, threads int) *apspState {
+	n := d.N
+	st := &apspState{
+		d:     d,
+		dist:  make([]int32, n*n),
+		rMat:  pl.Alloc("apsp.matrix", n*n, 4),
+		rDist: pl.Alloc("apsp.dist", n*n, 4),
+		rCur:  pl.Alloc("apsp.cursor", 1, 8),
+		capt:  pl.NewLock(),
+	}
+	st.rLoc = make([]exec.Region, threads)
+	for t := 0; t < threads; t++ {
+		st.rLoc[t] = pl.Alloc(fmt.Sprintf("apsp.local.%d", t), 2*n, 4)
+	}
+	return st
+}
+
+// kernel runs the vertex-capture APSP phase on one thread: capture a
+// source vertex under the atomic capture lock, then run Dijkstra from it
+// over the adjacency matrix using thread-private distance and visited
+// arrays (Section III-2), writing the finished row to the global matrix.
+func (st *apspState) kernel(ctx exec.Ctx) {
+	n := st.d.N
+	tid := ctx.TID()
+	ldist := make([]int32, n)
+	ldone := make([]bool, n)
+	rl := st.rLoc[tid]
+	for {
+		// Vertex capture: "two threads must not pick the same vertex".
+		ctx.Lock(st.capt)
+		ctx.Load(st.rCur.At(0))
+		s := st.nextSr
+		st.nextSr++
+		ctx.Store(st.rCur.At(0))
+		ctx.Unlock(st.capt)
+		if s >= n {
+			return
+		}
+		ctx.Active(1)
+		for i := 0; i < n; i++ {
+			ldist[i] = graph.Inf
+			ldone[i] = false
+		}
+		ctx.StoreSpan(rl.At(0), 2*n, 4)
+		ldist[s] = 0
+		for iter := 0; iter < n; iter++ {
+			// Scan the thread-private distance and visited arrays for
+			// the cheapest unsettled vertex.
+			best, bestD := -1, graph.Inf
+			ctx.LoadSpan(rl.At(0), 2*n, 4)
+			ctx.Compute(n)
+			for v := 0; v < n; v++ {
+				if !ldone[v] && ldist[v] < bestD {
+					best, bestD = v, ldist[v]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			ldone[best] = true
+			ctx.Store(rl.At(n + best))
+			// Relax along the settled vertex's matrix row.
+			row := best * n
+			ctx.LoadSpan(st.rMat.At(row), n, 4)
+			ctx.Compute(n)
+			for t := 0; t < n; t++ {
+				w := st.d.W[row+t]
+				if w < graph.Inf && bestD+w < ldist[t] {
+					ldist[t] = bestD + w
+					ctx.Store(rl.At(t))
+				}
+			}
+		}
+		copy(st.dist[s*n:(s+1)*n], ldist)
+		ctx.StoreSpan(st.rDist.At(s*n), n, 4)
+		ctx.Active(-1)
+	}
+}
+
+// APSP runs the all-pairs shortest path benchmark: a vertex-capture outer
+// loop where each thread repeatedly captures a source vertex and computes
+// its shortest-path row with a private Dijkstra instance, as in the
+// paper's Section III-2.
+func APSP(pl exec.Platform, d *graph.Dense, threads int) (*APSPResult, error) {
+	if d == nil || d.N == 0 {
+		return nil, fmt.Errorf("core: APSP needs a non-empty matrix")
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("core: thread count %d < 1", threads)
+	}
+	st := newAPSPState(pl, d, threads)
+	rep := pl.Run(threads, st.kernel)
+	return &APSPResult{Dist: st.dist, N: d.N, Report: rep}, nil
+}
+
+// FloydWarshallRef is the sequential oracle for APSP and Betweenness: the
+// textbook O(V^3) dynamic program.
+func FloydWarshallRef(d *graph.Dense) []int32 {
+	n := d.N
+	dist := make([]int32, n*n)
+	copy(dist, d.W)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i*n+k]
+			if dik >= graph.Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + dist[k*n+j]; nd < dist[i*n+j] {
+					dist[i*n+j] = nd
+				}
+			}
+		}
+	}
+	return dist
+}

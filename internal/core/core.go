@@ -1,0 +1,213 @@
+// Package core implements the CRONO benchmark suite: ten multithreaded
+// graph kernels written against the exec.Platform abstraction so that the
+// same code runs on real hardware (internal/native) and on the futuristic
+// multicore simulator (internal/sim).
+//
+// The kernels and their parallelization strategies follow Table I of the
+// paper:
+//
+//	SSSP_DIJK  - graph division over pareto fronts
+//	APSP       - vertex capture, per-thread Dijkstra
+//	BETW_CENT  - vertex capture + outer loop
+//	BFS        - graph division, level synchronous
+//	DFS        - branch and bound (branch capture)
+//	TSP        - branch and bound
+//	CONN_COMP  - graph division, label propagation
+//	TRI_CNT    - vertex capture & graph division
+//	PageRank   - vertex capture & graph division
+//	COMM       - vertex capture & graph division (parallel Louvain)
+package core
+
+import (
+	"fmt"
+
+	"crono/internal/exec"
+	"crono/internal/graph"
+)
+
+// Input bundles the possible benchmark inputs. CSR-based benchmarks use G;
+// APSP and BETW_CENT use the dense matrix D (Section IV-F); TSP uses the
+// Cities distance matrix.
+type Input struct {
+	G      *graph.CSR
+	D      *graph.Dense
+	Cities *graph.Dense
+	Source int
+}
+
+// Benchmark describes one suite entry for the harness.
+type Benchmark struct {
+	// Name is the paper identifier (Table I), e.g. "SSSP_DIJK".
+	Name string
+	// Parallelization is the Table I strategy description.
+	Parallelization string
+	// UsesMatrix marks the adjacency-matrix benchmarks (APSP, BETW_CENT).
+	UsesMatrix bool
+	// UsesCities marks TSP.
+	UsesCities bool
+	// Run executes the kernel and returns its platform report.
+	Run func(pl exec.Platform, in Input, threads int) (*exec.Report, error)
+}
+
+// Suite lists all ten benchmarks in paper order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "SSSP_DIJK", Parallelization: "Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := SSSP(pl, in.G, in.Source, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "APSP", Parallelization: "Vertex Capture", UsesMatrix: true,
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := APSP(pl, in.D, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "BETW_CENT", Parallelization: "Vertex Capture & Outer Loop", UsesMatrix: true,
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := Betweenness(pl, in.D, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "BFS", Parallelization: "Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := BFS(pl, in.G, in.Source, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "DFS", Parallelization: "Branch and Bound",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := DFS(pl, in.G, in.Source, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "TSP", Parallelization: "Branch and Bound", UsesCities: true,
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := TSP(pl, in.Cities, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "CONN_COMP", Parallelization: "Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := ConnectedComponents(pl, in.G, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "TRI_CNT", Parallelization: "Vertex Capture & Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := TriangleCount(pl, in.G, p)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "PageRank", Parallelization: "Vertex Capture & Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := PageRank(pl, in.G, p, DefaultPageRankIters)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+		{
+			Name: "COMM", Parallelization: "Vertex Capture & Graph Division",
+			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
+				r, err := Community(pl, in.G, p, DefaultCommunityPasses)
+				if err != nil {
+					return nil, err
+				}
+				return r.Report, nil
+			},
+		},
+	}
+}
+
+// ByName returns the benchmark with the given paper identifier.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("core: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark identifiers in paper order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, b := range s {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// chunk statically divides n items among p threads and returns tid's
+// half-open range. This is the paper's static "graph division".
+func chunk(tid, p, n int) (lo, hi int) {
+	per := n / p
+	rem := n % p
+	lo = tid*per + min(tid, rem)
+	hi = lo + per
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// validate checks the common preconditions of CSR kernels.
+func validate(g *graph.CSR, src, threads int) error {
+	if g == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if g.N == 0 {
+		return fmt.Errorf("core: empty graph")
+	}
+	if src < 0 || src >= g.N {
+		return fmt.Errorf("core: source %d out of range [0,%d)", src, g.N)
+	}
+	if threads < 1 {
+		return fmt.Errorf("core: thread count %d < 1", threads)
+	}
+	return nil
+}

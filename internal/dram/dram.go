@@ -1,0 +1,80 @@
+// Package dram models the off-chip memory system of Table II: a set of
+// memory controllers, each with 5 GB/s of bandwidth (finite-bandwidth
+// queueing) and 100 ns access latency.
+//
+// Queueing uses the same utilization-based analytical model as the NoC
+// (see internal/noc): the controller tracks cumulative channel occupancy
+// against the virtual-time horizon it has observed and charges
+// rho/(1-rho) * service/2 per access. A strict next-free calendar would
+// misbehave under lax-synchronization clock skew.
+package dram
+
+import "fmt"
+
+// maxRho caps utilization in the queueing formula.
+const maxRho = 0.95
+
+// Controller is one memory controller. It is not safe for concurrent
+// use; the simulator serializes access.
+type Controller struct {
+	// LatencyCycles is the DRAM access latency in core cycles.
+	LatencyCycles uint64
+	// CyclesPerByte is the inverse bandwidth in cycles (e.g. at 1 GHz,
+	// 5 GB/s is 0.2 cycles per byte).
+	CyclesPerByte float64
+
+	busy     uint64 // cumulative channel occupancy
+	horizon  uint64 // latest virtual time observed
+	accesses uint64
+	queuedCy uint64
+}
+
+// New builds a controller from a clock (Hz), bandwidth (bytes/s) and
+// latency (ns).
+func New(clockHz, bytesPerSec float64, latencyNs float64) (*Controller, error) {
+	if clockHz <= 0 || bytesPerSec <= 0 || latencyNs < 0 {
+		return nil, fmt.Errorf("dram: bad parameters clock=%g bw=%g lat=%g", clockHz, bytesPerSec, latencyNs)
+	}
+	return &Controller{
+		LatencyCycles: uint64(latencyNs * clockHz / 1e9),
+		CyclesPerByte: clockHz / bytesPerSec,
+	}, nil
+}
+
+// Access models a transfer of the given bytes starting at cycle start.
+// It returns the completion cycle and the queueing delay charged for
+// finite bandwidth.
+func (c *Controller) Access(start uint64, bytes int) (done, queued uint64) {
+	occupancy := uint64(float64(bytes)*c.CyclesPerByte + 0.5)
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	if start > c.horizon {
+		c.horizon = start
+	}
+	if c.busy > 0 && c.horizon > 0 {
+		rho := float64(c.busy) / float64(c.horizon)
+		if rho > maxRho {
+			rho = maxRho
+		}
+		queued = uint64(rho/(1-rho)*float64(occupancy)/2 + 0.5)
+	}
+	c.busy += occupancy
+	c.accesses++
+	c.queuedCy += queued
+	return start + queued + occupancy + c.LatencyCycles, queued
+}
+
+// Accesses returns the number of transfers served.
+func (c *Controller) Accesses() uint64 { return c.accesses }
+
+// QueuedCycles returns total queueing delay accumulated.
+func (c *Controller) QueuedCycles() uint64 { return c.queuedCy }
+
+// Utilization returns the cumulative channel utilization observed.
+func (c *Controller) Utilization() float64 {
+	if c.horizon == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(c.horizon)
+}

@@ -1,0 +1,77 @@
+// Package energy provides dynamic-energy accounting for the memory
+// system, reproducing the paper's Section IV-D methodology: cache and
+// directory energies in the style of McPAT and network router/link
+// energies in the style of DSENT, both evaluated at the 11 nm node.
+//
+// The per-event constants below are ballpark figures for 11 nm derived
+// from published McPAT/DSENT scaling data. Figure 6 reports *normalized*
+// breakdowns, so only the relative magnitudes matter; the defaults
+// reproduce the paper's finding that ~75% of dynamic energy is spent in
+// the network routers and links.
+package energy
+
+import "crono/internal/exec"
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	// L1IAccessPJ is charged once per executed instruction.
+	L1IAccessPJ float64
+	// L1DAccessPJ is charged per data-cache access.
+	L1DAccessPJ float64
+	// L2AccessPJ is charged per L2 slice access.
+	L2AccessPJ float64
+	// DirAccessPJ is charged per directory lookup/update.
+	DirAccessPJ float64
+	// RouterFlitPJ is charged per flit per router traversal.
+	RouterFlitPJ float64
+	// LinkFlitPJ is charged per flit per link traversal.
+	LinkFlitPJ float64
+	// DRAMAccessPJ is charged per off-chip line transfer.
+	DRAMAccessPJ float64
+}
+
+// Default11nm is the default energy model at the 11 nm node.
+func Default11nm() Model {
+	return Model{
+		L1IAccessPJ:  6,
+		L1DAccessPJ:  10,
+		L2AccessPJ:   40,
+		DirAccessPJ:  10,
+		RouterFlitPJ: 4,
+		LinkFlitPJ:   2.5,
+		DRAMAccessPJ: 400,
+	}
+}
+
+// Counter accumulates event counts for one run.
+type Counter struct {
+	Instructions uint64
+	L1DAccesses  uint64
+	L2Accesses   uint64
+	DirAccesses  uint64
+	FlitHops     uint64 // each flit-hop crosses one router and one link
+	DRAMAccesses uint64
+}
+
+// Add accumulates o into c.
+func (c *Counter) Add(o Counter) {
+	c.Instructions += o.Instructions
+	c.L1DAccesses += o.L1DAccesses
+	c.L2Accesses += o.L2Accesses
+	c.DirAccesses += o.DirAccesses
+	c.FlitHops += o.FlitHops
+	c.DRAMAccesses += o.DRAMAccesses
+}
+
+// Breakdown converts event counts to the Figure 6 energy components.
+func (m Model) Breakdown(c Counter) exec.EnergyBreakdown {
+	var e exec.EnergyBreakdown
+	e[exec.EnergyL1I] = m.L1IAccessPJ * float64(c.Instructions)
+	e[exec.EnergyL1D] = m.L1DAccessPJ * float64(c.L1DAccesses)
+	e[exec.EnergyL2] = m.L2AccessPJ * float64(c.L2Accesses)
+	e[exec.EnergyDir] = m.DirAccessPJ * float64(c.DirAccesses)
+	e[exec.EnergyRouter] = m.RouterFlitPJ * float64(c.FlitHops)
+	e[exec.EnergyLink] = m.LinkFlitPJ * float64(c.FlitHops)
+	e[exec.EnergyDRAM] = m.DRAMAccessPJ * float64(c.DRAMAccesses)
+	return e
+}

@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"testing"
+
+	"crono/internal/exec"
+)
+
+func TestBreakdownMapsEvents(t *testing.T) {
+	m := Model{
+		L1IAccessPJ: 1, L1DAccessPJ: 2, L2AccessPJ: 3, DirAccessPJ: 4,
+		RouterFlitPJ: 5, LinkFlitPJ: 6, DRAMAccessPJ: 7,
+	}
+	c := Counter{
+		Instructions: 10, L1DAccesses: 10, L2Accesses: 10,
+		DirAccesses: 10, FlitHops: 10, DRAMAccesses: 10,
+	}
+	e := m.Breakdown(c)
+	want := map[exec.EnergyComponent]float64{
+		exec.EnergyL1I: 10, exec.EnergyL1D: 20, exec.EnergyL2: 30,
+		exec.EnergyDir: 40, exec.EnergyRouter: 50, exec.EnergyLink: 60,
+		exec.EnergyDRAM: 70,
+	}
+	for comp, w := range want {
+		if e[comp] != w {
+			t.Errorf("%v = %g, want %g", comp, e[comp], w)
+		}
+	}
+	if e.Total() != 280 {
+		t.Fatalf("total %g, want 280", e.Total())
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	a := Counter{Instructions: 1, L1DAccesses: 2, L2Accesses: 3, DirAccesses: 4, FlitHops: 5, DRAMAccesses: 6}
+	b := a
+	a.Add(b)
+	if a.Instructions != 2 || a.L1DAccesses != 4 || a.L2Accesses != 6 ||
+		a.DirAccesses != 8 || a.FlitHops != 10 || a.DRAMAccesses != 12 {
+		t.Fatalf("bad sum: %+v", a)
+	}
+}
+
+func TestDefault11nmNetworkDominatesPerMiss(t *testing.T) {
+	// Sanity of the default constants: for a typical remote miss
+	// (~10 hops, ~10 flits round trip), network energy exceeds the
+	// cache energy of the same transaction, which is what produces the
+	// paper's ~75% network share in Figure 6.
+	m := Default11nm()
+	network := (m.RouterFlitPJ + m.LinkFlitPJ) * 10 * 10
+	caches := m.L1DAccessPJ + m.L2AccessPJ + m.DirAccessPJ
+	if network < 10*caches {
+		t.Fatalf("network per miss %g should dominate cache %g", network, caches)
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	m := Default11nm()
+	e := m.Breakdown(Counter{Instructions: 100, L1DAccesses: 50, L2Accesses: 5, DirAccesses: 5, FlitHops: 40, DRAMAccesses: 1})
+	f := e.Fractions()
+	var sum float64
+	for _, v := range f {
+		if v < 0 {
+			t.Fatal("negative fraction")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum %g", sum)
+	}
+	var zero exec.EnergyBreakdown
+	if zero.Fractions() != [exec.NumEnergyComponents]float64{} {
+		t.Fatal("zero breakdown should give zero fractions")
+	}
+}

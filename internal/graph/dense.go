@@ -1,0 +1,58 @@
+package graph
+
+// Dense is a weighted adjacency matrix. The paper's APSP and BETW_CENT
+// benchmarks operate on an adjacency matrix representation (Section IV-F).
+type Dense struct {
+	// N is the vertex count.
+	N int
+	// W is the row-major weight matrix; W[i*N+j] is the weight of edge
+	// i->j, Inf if absent, and 0 on the diagonal.
+	W []int32
+}
+
+// NewDense creates an edgeless matrix of n vertices.
+func NewDense(n int) *Dense {
+	d := &Dense{N: n, W: make([]int32, n*n)}
+	for i := range d.W {
+		d.W[i] = Inf
+	}
+	for v := 0; v < n; v++ {
+		d.W[v*n+v] = 0
+	}
+	return d
+}
+
+// At returns the weight of edge i->j.
+func (d *Dense) At(i, j int) int32 { return d.W[i*d.N+j] }
+
+// Set assigns the weight of edge i->j.
+func (d *Dense) Set(i, j int, w int32) { d.W[i*d.N+j] = w }
+
+// DenseFromCSR converts a CSR graph to matrix form. Duplicate edges keep
+// the minimum weight.
+func DenseFromCSR(g *CSR) *Dense {
+	d := NewDense(g.N)
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if ws[i] < d.At(v, int(t)) {
+				d.Set(v, int(t), ws[i])
+			}
+		}
+	}
+	return d
+}
+
+// CSRFromDense converts a matrix back to CSR form, dropping Inf entries
+// and the diagonal.
+func CSRFromDense(d *Dense) *CSR {
+	var edges []Edge
+	for i := 0; i < d.N; i++ {
+		for j := 0; j < d.N; j++ {
+			if i != j && d.At(i, j) < Inf {
+				edges = append(edges, Edge{From: int32(i), To: int32(j), Weight: d.At(i, j)})
+			}
+		}
+	}
+	return FromEdges(d.N, edges, false)
+}

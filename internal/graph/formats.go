@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file
+// (%%MatrixMarket matrix coordinate <field> <symmetry>) into a graph.
+// Pattern matrices get unit weights; real/integer weights are rounded to
+// integers and must be non-negative; "symmetric" files are symmetrized.
+// MatrixMarket is 1-indexed.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field, symmetry := header[3], header[4]
+	switch field {
+	case "pattern", "real", "integer":
+	default:
+		return nil, fmt.Errorf("graph: unsupported MatrixMarket field %q", field)
+	}
+	symmetric := symmetry == "symmetric"
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graph: bad MatrixMarket size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graph: MatrixMarket matrix %dx%d is not square", rows, cols)
+	}
+	edges := make([]Edge, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad MatrixMarket row %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad MatrixMarket column %q", fields[1])
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) out of range", i, j)
+		}
+		w := int32(1)
+		if field != "pattern" && len(fields) >= 3 {
+			val, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad MatrixMarket value %q", fields[2])
+			}
+			if val < 0 {
+				return nil, fmt.Errorf("graph: negative weight %g unsupported", val)
+			}
+			w = int32(val + 0.5)
+			if w == 0 {
+				w = 1
+			}
+		}
+		edges = append(edges, Edge{From: int32(i - 1), To: int32(j - 1), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(rows, edges, symmetric), nil
+}
+
+// WriteMatrixMarket writes g as a MatrixMarket coordinate integer
+// general matrix.
+func WriteMatrixMarket(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate integer general\n%% crono graph\n%d %d %d\n",
+		g.N, g.N, g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", v+1, t+1, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS graph file: a header "n m [fmt]" followed by
+// one line per vertex listing its neighbors (1-indexed), optionally with
+// per-edge weights when fmt's weights flag ("1" in the last position) is
+// set. The METIS format stores undirected graphs with both directions
+// listed, which matches the suite's storage directly.
+func ReadMETIS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n, m int
+	weighted := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad METIS header %q", line)
+		}
+		var err error
+		if n, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("graph: bad METIS vertex count %q", fields[0])
+		}
+		if m, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("graph: bad METIS edge count %q", fields[1])
+		}
+		if len(fields) >= 3 {
+			fmtFlags := fields[2]
+			weighted = strings.HasSuffix(fmtFlags, "1")
+			if len(fmtFlags) >= 2 && fmtFlags[len(fmtFlags)-2] == '1' {
+				return nil, fmt.Errorf("graph: METIS vertex weights unsupported")
+			}
+		}
+		break
+	}
+	edges := make([]Edge, 0, 2*m)
+	v := 0
+	for sc.Scan() && v < n {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		step := 1
+		if weighted {
+			step = 2
+		}
+		for i := 0; i+step-1 < len(fields); i += step {
+			u, err := strconv.Atoi(fields[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graph: bad METIS neighbor %q for vertex %d", fields[i], v+1)
+			}
+			w := int32(1)
+			if weighted {
+				wi, err := strconv.Atoi(fields[i+1])
+				if err != nil || wi < 0 {
+					return nil, fmt.Errorf("graph: bad METIS weight %q", fields[i+1])
+				}
+				w = int32(wi)
+			}
+			edges = append(edges, Edge{From: int32(v), To: int32(u - 1), Weight: w})
+		}
+		v++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v != n {
+		return nil, fmt.Errorf("graph: METIS file has %d vertex lines, header says %d", v, n)
+	}
+	return FromEdges(n, edges, false), nil
+}
+
+// WriteMETIS writes g in METIS format with edge weights. The graph must
+// be symmetric (METIS stores undirected graphs).
+func WriteMETIS(w io.Writer, g *CSR) error {
+	if !g.IsSymmetric() {
+		return fmt.Errorf("graph: METIS requires a symmetric graph")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.N, g.M()/2); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if i > 0 {
+				if _, err := bw.WriteString(" "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d", t+1, ws[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

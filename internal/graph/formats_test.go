@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := UniformSparse(150, 4, 30, 21)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip %d/%d, want %d/%d", back.N, back.M(), g.N, g.M())
+	}
+	for i := range g.Targets {
+		if back.Targets[i] != g.Targets[i] || back.Weights[i] != g.Weights[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestMatrixMarketVariants(t *testing.T) {
+	// Pattern symmetric: unit weights, symmetrized.
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+2 1
+3 2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 4 {
+		t.Fatalf("pattern symmetric: %d vertices %d edges", g.N, g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("symmetrization missing")
+	}
+	// Real general with float weights.
+	in = `%%MatrixMarket matrix coordinate real general
+2 2 1
+1 2 3.7
+`
+	g, err = ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 4 {
+		t.Fatalf("rounded weight %d, want 4", w)
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("general matrix symmetrized")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := UniformSparse(120, 3, 20, 33)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip %d/%d, want %d/%d", back.N, back.M(), g.N, g.M())
+	}
+	for i := range g.Targets {
+		if back.Targets[i] != g.Targets[i] || back.Weights[i] != g.Weights[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestMETISUnweighted(t *testing.T) {
+	in := "3 2\n2 3\n1\n1\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 4 {
+		t.Fatalf("%d vertices %d edges", g.N, g.M())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Fatalf("weight %d", w)
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []string{
+		"x y\n",
+		"2 1 011\n2 1\n1 1\n", // vertex weights unsupported
+		"3 1\n2\n",            // missing vertex lines
+		"2 1\n9\n\n",          // neighbor out of range
+		"2 1 001\n2 x\n1 1\n", // bad weight
+	}
+	for i, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Writing a directed graph must fail.
+	d := FromEdges(3, []Edge{{From: 0, To: 1, Weight: 2}}, false)
+	if err := WriteMETIS(&bytes.Buffer{}, d); err == nil {
+		t.Error("asymmetric graph accepted by METIS writer")
+	}
+}
+
+func TestExtraGenerators(t *testing.T) {
+	rmat := RMAT(10, 8, 5)
+	if err := rmat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rmat.N != 1024 || !rmat.IsSymmetric() {
+		t.Fatalf("rmat %d vertices", rmat.N)
+	}
+	// RMAT is skewed: its max degree dwarfs the average.
+	if rmat.MaxDegree() < 4*int(rmat.AvgDegree()) {
+		t.Fatalf("rmat too uniform: max %d avg %.1f", rmat.MaxDegree(), rmat.AvgDegree())
+	}
+
+	sw := SmallWorld(500, 6, 0.1, 7)
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.IsSymmetric() {
+		t.Fatal("small world not symmetric")
+	}
+	if d := sw.AvgDegree(); d < 4 || d > 8 {
+		t.Fatalf("small world avg degree %g", d)
+	}
+
+	grid := Grid(8, 5)
+	if grid.N != 40 || grid.M() != 2*(7*5+8*4) {
+		t.Fatalf("grid %d/%d", grid.N, grid.M())
+	}
+	if _, sizes := ComponentsBFS(grid); len(sizes) != 1 {
+		t.Fatal("grid disconnected")
+	}
+
+	torus := Torus(6, 4)
+	for v := 0; v < torus.N; v++ {
+		if torus.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d", v, torus.Degree(v))
+		}
+	}
+}
+
+func TestExtraGeneratorsDegenerate(t *testing.T) {
+	if g := SmallWorld(2, 4, 0.5, 1); g.Validate() != nil {
+		t.Fatal("tiny small world invalid")
+	}
+	if g := RMAT(0, 2, 1); g.Validate() != nil {
+		t.Fatal("tiny rmat invalid")
+	}
+	if g := Grid(1, 1); g.N != 1 || g.M() != 0 {
+		t.Fatal("unit grid wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parser fuzz targets assert one property: any byte input either
+// fails cleanly or produces a graph whose structural invariants hold.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("# nodes 3 edges 2\n0 1 5\n1 2 3\n")
+	f.Add("0 1\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("1 2 3 4 5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed invalid graph from %q: %v", in, verr)
+		}
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 4.5\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed invalid graph from %q: %v", in, verr)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 2\n2 3\n1\n1\n")
+	f.Add("2 1 001\n2 7\n1 7\n")
+	f.Add("% c\n1 0\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed invalid graph from %q: %v", in, verr)
+		}
+	})
+}
+
+// FuzzEdgeListRoundTrip: writing any parsed graph and re-reading it must
+// be the identity.
+func FuzzEdgeListRoundTrip(f *testing.F) {
+	f.Add("# nodes 4 edges 3\n0 1 2\n1 2 9\n3 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.M() != g.M() {
+			t.Fatalf("round trip changed edge count: %d vs %d", back.M(), g.M())
+		}
+		for i := range g.Targets {
+			if back.Targets[i] != g.Targets[i] || back.Weights[i] != g.Weights[i] {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}

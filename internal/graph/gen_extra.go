@@ -1,0 +1,108 @@
+package graph
+
+import "math/rand"
+
+// RMAT generates a Graph500-style recursive-matrix graph with the given
+// vertex-count exponent (n = 2^scale) and average directed degree. The
+// (a,b,c,d) quadrant probabilities default to the Graph500 values
+// (0.57, 0.19, 0.19, 0.05), yielding a skewed power-law-like degree
+// distribution. The result is symmetrized, matching the suite's
+// undirected inputs.
+func RMAT(scale, avgDegree int, seed int64) *CSR {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 1 << scale
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := rand.New(rand.NewSource(seed))
+	m := n * avgDegree / 2
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				v |= 1 << bit
+			case r < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{From: int32(u), To: int32(v), Weight: 1 + rng.Int31n(100)})
+	}
+	return FromEdges(n, edges, true)
+}
+
+// SmallWorld generates a Watts-Strogatz small-world graph: a ring lattice
+// where each vertex connects to its k nearest neighbors, with each edge
+// rewired to a random endpoint with probability beta. Small beta keeps
+// high clustering with a short diameter — a structure between the road
+// and social families.
+func SmallWorld(n, k int, beta float64, seed int64) *CSR {
+	if n < 3 {
+		return FromEdges(n, nil, true)
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k >= n {
+		k = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				u = rng.Intn(n)
+				if u == v {
+					u = (u + 1) % n
+				}
+			}
+			edges = append(edges, Edge{From: int32(v), To: int32(u), Weight: 1 + rng.Int31n(50)})
+		}
+	}
+	return FromEdges(n, edges, true)
+}
+
+// Grid generates a w x h 2-D grid with 4-neighborhood connectivity and
+// unit weights: the fully regular baseline against which the irregular
+// families are characterized.
+func Grid(w, h int) *CSR {
+	n := w * h
+	var edges []Edge
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, Edge{From: id(x, y), To: id(x+1, y), Weight: 1})
+			}
+			if y+1 < h {
+				edges = append(edges, Edge{From: id(x, y), To: id(x, y+1), Weight: 1})
+			}
+		}
+	}
+	return FromEdges(n, edges, true)
+}
+
+// Torus generates a w x h 2-D torus (a grid with wraparound), giving
+// every vertex degree exactly 4.
+func Torus(w, h int) *CSR {
+	n := w * h
+	var edges []Edge
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			edges = append(edges, Edge{From: id(x, y), To: id((x+1)%w, y), Weight: 1})
+			edges = append(edges, Edge{From: id(x, y), To: id(x, (y+1)%h), Weight: 1})
+		}
+	}
+	return FromEdges(n, edges, true)
+}

@@ -1,0 +1,207 @@
+// Package graph provides the input-graph substrate of the CRONO suite:
+// compressed sparse row (CSR) adjacency lists, dense adjacency matrices for
+// the APSP-family benchmarks, synthetic generators standing in for the
+// paper's GTgraph and SNAP inputs (Table III), and edge-list I/O.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the "no path" distance. It is small enough that Inf+Inf does not
+// overflow int32 arithmetic.
+const Inf int32 = math.MaxInt32 / 4
+
+// Edge is one weighted directed edge.
+type Edge struct {
+	From, To int32
+	Weight   int32
+}
+
+// CSR is a weighted directed graph in compressed sparse row form.
+// Undirected graphs store both edge directions. Neighbor lists are sorted
+// by target vertex, which the triangle-counting kernel relies on.
+type CSR struct {
+	// N is the vertex count.
+	N int
+	// Offsets has length N+1; the out-edges of v are the index range
+	// [Offsets[v], Offsets[v+1]) in Targets and Weights.
+	Offsets []int64
+	// Targets holds edge target vertices.
+	Targets []int32
+	// Weights holds edge weights, parallel to Targets.
+	Weights []int32
+}
+
+// M returns the number of stored (directed) edges.
+func (g *CSR) M() int { return len(g.Targets) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Neighbors returns the targets and weights of v's out-edges. The returned
+// slices alias the graph and must not be modified.
+func (g *CSR) Neighbors(v int) ([]int32, []int32) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
+// HasEdge reports whether the edge v->u exists, by binary search over v's
+// sorted neighbor list.
+func (g *CSR) HasEdge(v, u int) bool {
+	ts, _ := g.Neighbors(v)
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= int32(u) })
+	return i < len(ts) && ts[i] == int32(u)
+}
+
+// EdgeWeight returns the weight of edge v->u, or (0, false) if absent.
+func (g *CSR) EdgeWeight(v, u int) (int32, bool) {
+	ts, ws := g.Neighbors(v)
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= int32(u) })
+	if i < len(ts) && ts[i] == int32(u) {
+		return ws[i], true
+	}
+	return 0, false
+}
+
+// AvgDegree returns the average out-degree.
+func (g *CSR) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.M()) / float64(g.N)
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *CSR) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Validate checks structural invariants and returns the first violation.
+func (g *CSR) Validate() error {
+	if g.N < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.N)
+	}
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if len(g.Targets) != len(g.Weights) {
+		return fmt.Errorf("graph: %d targets but %d weights", len(g.Targets), len(g.Weights))
+	}
+	if g.N == 0 {
+		if len(g.Targets) != 0 {
+			return fmt.Errorf("graph: empty graph with %d edges", len(g.Targets))
+		}
+		return nil
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	if g.Offsets[g.N] != int64(len(g.Targets)) {
+		return fmt.Errorf("graph: offsets[N] = %d, want %d", g.Offsets[g.N], len(g.Targets))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t < 0 || int(t) >= g.N {
+				return fmt.Errorf("graph: edge %d->%d out of range", v, t)
+			}
+			if i > 0 && ts[i-1] >= t {
+				return fmt.Errorf("graph: neighbors of %d not strictly sorted", v)
+			}
+			if ws[i] < 0 {
+				return fmt.Errorf("graph: negative weight on %d->%d", v, t)
+			}
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether every edge has a reverse edge of equal
+// weight, i.e. the graph is undirected.
+func (g *CSR) IsSymmetric() bool {
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			w, ok := g.EdgeWeight(int(t), v)
+			if !ok || w != ws[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromEdges builds a CSR graph from an edge list. Self loops are dropped,
+// duplicate edges are merged keeping the minimum weight, and neighbor
+// lists come out sorted. If undirected is set, the reverse of every edge
+// is added before building.
+func FromEdges(n int, edges []Edge, undirected bool) *CSR {
+	all := make([]Edge, 0, len(edges)*2)
+	for _, e := range edges {
+		if e.From == e.To || e.From < 0 || e.To < 0 || int(e.From) >= n || int(e.To) >= n {
+			continue
+		}
+		all = append(all, e)
+		if undirected {
+			all = append(all, Edge{From: e.To, To: e.From, Weight: e.Weight})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		if all[i].To != all[j].To {
+			return all[i].To < all[j].To
+		}
+		return all[i].Weight < all[j].Weight
+	})
+	// Deduplicate, keeping the first (minimum-weight) copy.
+	uniq := all[:0]
+	for i, e := range all {
+		if i > 0 && e.From == all[i-1].From && e.To == all[i-1].To {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	g := &CSR{
+		N:       n,
+		Offsets: make([]int64, n+1),
+		Targets: make([]int32, len(uniq)),
+		Weights: make([]int32, len(uniq)),
+	}
+	for _, e := range uniq {
+		g.Offsets[e.From+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	for i, e := range uniq {
+		g.Targets[i] = e.To
+		g.Weights[i] = e.Weight
+	}
+	return g
+}
+
+// Edges returns the stored directed edge list.
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			out = append(out, Edge{From: int32(v), To: t, Weight: ws[i]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes g in SNAP-style edge-list text format:
+// a header comment with the vertex count, then one "from to weight" line
+// per stored directed edge.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# crono edge list\n# nodes %d edges %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", v, t, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are comments, except that a "# nodes N ..." comment fixes the
+// vertex count; otherwise the count is one past the largest endpoint.
+// A missing weight column defaults to weight 1.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	maxV := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var nodes, e int
+			if _, err := fmt.Sscanf(text, "# nodes %d edges %d", &nodes, &e); err == nil {
+				n = nodes
+			}
+			continue
+		}
+		var from, to, weight int32
+		weight = 1
+		k, err := fmt.Sscanf(text, "%d %d %d", &from, &to, &weight)
+		if err != nil && k < 2 {
+			return nil, fmt.Errorf("graph: line %d: %q: %v", line, text, err)
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex", line)
+		}
+		if from > maxV {
+			maxV = from
+		}
+		if to > maxV {
+			maxV = to
+		}
+		edges = append(edges, Edge{From: from, To: to, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxV) + 1
+	}
+	if int(maxV) >= n {
+		return nil, fmt.Errorf("graph: vertex %d exceeds declared count %d", maxV, n)
+	}
+	return FromEdges(n, edges, false), nil
+}

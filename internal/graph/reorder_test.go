@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"testing"
+)
+
+// sameTopology reports whether b is a relabeling of a through perm.
+func sameTopology(a, b *CSR, perm []int32) bool {
+	if a.N != b.N || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N; v++ {
+		ts, ws := a.Neighbors(v)
+		for i, t := range ts {
+			w, ok := b.EdgeWeight(int(perm[v]), int(perm[t]))
+			if !ok || w != ws[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func validPermutation(perm []int32) bool {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || int(p) >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+func TestReorderBFSPreservesTopology(t *testing.T) {
+	for _, g := range []*CSR{
+		UniformSparse(300, 4, 20, 7),
+		RoadNet(400, 8),
+		FromEdges(5, []Edge{{From: 0, To: 1, Weight: 1}, {From: 3, To: 4, Weight: 2}}, true),
+	} {
+		rg, perm := ReorderBFS(g, 0)
+		if !validPermutation(perm) {
+			t.Fatal("invalid permutation")
+		}
+		if err := rg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !sameTopology(g, rg, perm) {
+			t.Fatal("topology changed")
+		}
+	}
+}
+
+func TestReorderBFSImprovesLocality(t *testing.T) {
+	// A shuffled road network has poor id locality; BFS order restores it.
+	g := UniformSparse(2000, 3, 10, 3)
+	shuffled, _ := ReorderByDegree(g) // any permutation to start from
+	rg, _ := ReorderBFS(shuffled, 0)
+	before := Locality(shuffled, 64)
+	after := Locality(rg, 64)
+	if after <= before {
+		t.Fatalf("BFS order locality %.3f not above %.3f", after, before)
+	}
+}
+
+func TestReorderByDegreeHubsFirst(t *testing.T) {
+	g := SocialNet(500, 6, 9)
+	rg, perm := ReorderByDegree(g)
+	if !validPermutation(perm) {
+		t.Fatal("invalid permutation")
+	}
+	if !sameTopology(g, rg, perm) {
+		t.Fatal("topology changed")
+	}
+	for v := 1; v < rg.N; v++ {
+		if rg.Degree(v) > rg.Degree(v-1) {
+			t.Fatalf("degrees not descending at %d", v)
+		}
+	}
+}
+
+func TestReorderBFSRootOutOfRange(t *testing.T) {
+	g := UniformSparse(50, 3, 10, 1)
+	rg, perm := ReorderBFS(g, 999)
+	if !validPermutation(perm) || rg.N != g.N {
+		t.Fatal("bad fallback for out-of-range root")
+	}
+}
+
+func TestApplyVertexPermutation(t *testing.T) {
+	in := []int32{10, 20, 30}
+	perm := []int32{2, 0, 1}
+	out := ApplyVertexPermutation(in, perm)
+	if out[2] != 10 || out[0] != 20 || out[1] != 30 {
+		t.Fatalf("permuted %v", out)
+	}
+}
+
+func TestLocalityScore(t *testing.T) {
+	// A path graph in natural order: every edge within window 1.
+	var edges []Edge
+	for i := 0; i < 49; i++ {
+		edges = append(edges, Edge{From: int32(i), To: int32(i + 1), Weight: 1})
+	}
+	g := FromEdges(50, edges, true)
+	if l := Locality(g, 1); l != 1 {
+		t.Fatalf("path locality %g, want 1", l)
+	}
+	if l := Locality(FromEdges(3, nil, true), 1); l != 0 {
+		t.Fatalf("empty locality %g", l)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+// Stats summarizes a graph for the Table III inventory.
+type Stats struct {
+	Vertices   int
+	Edges      int // stored directed edges
+	AvgDegree  float64
+	MaxDegree  int
+	Components int
+	LargestCC  int
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *CSR) Stats {
+	comp, sizes := ComponentsBFS(g)
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	_ = comp
+	return Stats{
+		Vertices:   g.N,
+		Edges:      g.M(),
+		AvgDegree:  g.AvgDegree(),
+		MaxDegree:  g.MaxDegree(),
+		Components: len(sizes),
+		LargestCC:  largest,
+	}
+}
+
+// ComponentsBFS labels weakly connected components by BFS over the stored
+// edges (CRONO inputs are symmetric, so weak == strong). It returns the
+// per-vertex component id and the size of each component.
+func ComponentsBFS(g *CSR) (labels []int32, sizes []int) {
+	labels = make([]int32, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < g.N; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(len(sizes))
+		size := 0
+		labels[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			size++
+			ts, _ := g.Neighbors(int(v))
+			for _, t := range ts {
+				if labels[t] == -1 {
+					labels[t] = id
+					queue = append(queue, t)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes
+}
+
+// DegreeHistogram returns counts of vertices by out-degree, indexed by
+// degree up to the maximum.
+func DegreeHistogram(g *CSR) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}

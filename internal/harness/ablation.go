@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"fmt"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/noc"
+	"crono/internal/sim"
+	"crono/internal/stats"
+)
+
+// ablationBenchmarks are the lock- and sharing-heavy kernels the paper's
+// Section VII singles out as beneficiaries of architectural optimization.
+var ablationBenchmarks = []string{"SSSP_DIJK", "BFS", "PageRank", "CONN_COMP"}
+
+func (c *Config) runWith(b core.Benchmark, in core.Input, threads int, mutate func(*sim.Config)) (*exec.Report, error) {
+	sc := c.simConfig(sim.InOrder)
+	mutate(&sc)
+	m, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(m, in, threads)
+}
+
+// RunAblationDirectory compares the Table II ACKWise-4 limited directory
+// against an idealized full-map directory (one sharer pointer per core),
+// isolating the cost of broadcast invalidations on sharer-heavy kernels.
+func RunAblationDirectory(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: ACKWise-4 vs full-map directory (completion time, best threads)",
+		"Benchmark", "Threads", "ACKWise-4", "Full-map", "FullMap/ACKWise")
+	for _, name := range ablationBenchmarks {
+		b, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		in := ins.forBench(b)
+		p := cfg.bestThreads(name)
+		ack, err := cfg.runWith(b, in, p, func(sc *sim.Config) {})
+		if err != nil {
+			return err
+		}
+		full, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.DirPointers = sc.Cores })
+		if err != nil {
+			return err
+		}
+		t.Addf(name, p, ack.Time, full.Time, float64(full.Time)/float64(ack.Time))
+	}
+	return cfg.emit("abl-dir", t)
+}
+
+// RunAblationLocality evaluates the Section VII locality-aware coherence
+// protocol: low-reuse lines are served remotely at the home tile instead
+// of thrashing the private L1s, reducing on-chip traffic for read-write
+// shared data.
+func RunAblationLocality(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: locality-aware coherence (Section VII-A)",
+		"Benchmark", "Threads", "Baseline", "LocalityAware", "Speedup", "L1MissBase%", "L1MissLA%", "FlitHopsRatio")
+	for _, name := range ablationBenchmarks {
+		b, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		in := ins.forBench(b)
+		p := cfg.bestThreads(name)
+		base, err := cfg.runWith(b, in, p, func(sc *sim.Config) {})
+		if err != nil {
+			return err
+		}
+		la, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.LocalityAware = true })
+		if err != nil {
+			return err
+		}
+		ratio := 0.0
+		if base.NetworkFlitHops > 0 {
+			ratio = float64(la.NetworkFlitHops) / float64(base.NetworkFlitHops)
+		}
+		t.Addf(name, p, base.Time, la.Time,
+			float64(base.Time)/float64(la.Time),
+			base.Cache.L1MissRate(), la.Cache.L1MissRate(), ratio)
+	}
+	return cfg.emit("abl-locality", t)
+}
+
+// RunAblationWindow demonstrates why the lax-synchronization window
+// exists: with it disabled, the real Go scheduler decides who wins races
+// for dynamically distributed work (vertex capture), and the simulated
+// load balance of capture-based kernels collapses.
+func RunAblationWindow(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: lax-synchronization window (APSP vertex capture, 64 threads)",
+		"Window", "Time", "Variability")
+	b, err := core.ByName("APSP")
+	if err != nil {
+		return err
+	}
+	in := ins.forBench(b)
+	for _, w := range []uint64{0, 10_000, 50_000, 200_000} {
+		rep, err := cfg.runWith(b, in, min(64, cfg.maxThreads()), func(sc *sim.Config) { sc.WindowCycles = w })
+		if err != nil {
+			return err
+		}
+		t.Addf(fmt.Sprint(w), rep.Time, rep.Variability())
+	}
+	if err := cfg.emit("abl-window", t); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(cfg.Out, "\nWindow=0 disables the throttle; expect far higher variability there.")
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunAblationRouting compares XY routing against O1TURN-style oblivious
+// routing (Section VII-B: "routing protocols, such as oblivious routing,
+// may be able to reduce contention").
+func RunAblationRouting(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: XY vs oblivious routing (completion time, best threads)",
+		"Benchmark", "Threads", "XY", "Oblivious", "Oblivious/XY")
+	for _, name := range ablationBenchmarks {
+		b, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		in := ins.forBench(b)
+		p := cfg.bestThreads(name)
+		xy, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.Routing = noc.RouteXY })
+		if err != nil {
+			return err
+		}
+		obl, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.Routing = noc.RouteOblivious })
+		if err != nil {
+			return err
+		}
+		t.Addf(name, p, xy.Time, obl.Time, float64(obl.Time)/float64(xy.Time))
+	}
+	return cfg.emit("abl-routing", t)
+}
+
+// RunAblationPrefetch evaluates the next-line prefetcher (Section VI
+// lists data prefetching among the real machine's advantages over the
+// simulated futuristic multicore).
+func RunAblationPrefetch(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: next-line L1 prefetcher",
+		"Benchmark", "Threads", "Baseline", "Prefetch", "Speedup", "MissBase%", "MissPF%")
+	for _, name := range []string{"APSP", "BETW_CENT", "PageRank", "CONN_COMP"} {
+		b, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		in := ins.forBench(b)
+		p := cfg.bestThreads(name)
+		base, err := cfg.runWith(b, in, p, func(sc *sim.Config) {})
+		if err != nil {
+			return err
+		}
+		pf, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.NextLinePrefetch = true })
+		if err != nil {
+			return err
+		}
+		t.Addf(name, p, base.Time, pf.Time,
+			float64(base.Time)/float64(pf.Time),
+			base.Cache.L1MissRate(), pf.Cache.L1MissRate())
+	}
+	return cfg.emit("abl-prefetch", t)
+}
+
+// RunAblationHetero evaluates the heterogeneous design point of
+// Section VII-B: one out-of-order core for the master thread (which runs
+// the serial reductions between barriers) with in-order cores elsewhere.
+func RunAblationHetero(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: heterogeneous master core (OOO tile 0, in-order rest)",
+		"Benchmark", "Threads", "Homogeneous", "HeteroMaster", "Speedup")
+	for _, name := range []string{"SSSP_DIJK", "CONN_COMP", "COMM"} {
+		b, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		in := ins.forBench(b)
+		p := cfg.bestThreads(name)
+		base, err := cfg.runWith(b, in, p, func(sc *sim.Config) {})
+		if err != nil {
+			return err
+		}
+		het, err := cfg.runWith(b, in, p, func(sc *sim.Config) { sc.HeteroMasterOOO = true })
+		if err != nil {
+			return err
+		}
+		t.Addf(name, p, base.Time, het.Time, float64(base.Time)/float64(het.Time))
+	}
+	return cfg.emit("abl-hetero", t)
+}
+
+// RunAblationFormulation contrasts algorithmic formulations on the
+// simulated machine: push vs pull PageRank (locks vs no locks) and exact
+// pareto fronts vs delta-stepping SSSP (rounds vs redundant work) — the
+// software-side mitigations for the bottlenecks the paper characterizes.
+func RunAblationFormulation(cfg *Config) error {
+	ins := newInputs(cfg)
+	t := stats.NewTable(
+		"Ablation: algorithmic formulations on the Table II machine",
+		"Kernel", "Variant", "Threads", "Time", "Sync%", "Speedup-vs-base")
+	sssp, _ := core.ByName("SSSP_DIJK")
+	in := ins.forBench(sssp)
+	p := cfg.bestThreads("PageRank")
+
+	prPushRun := func() (*exec.Report, error) {
+		m, err := cfg.newSim(sim.InOrder)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.PageRank(m, in.G, p, core.DefaultPageRankIters)
+		if err != nil {
+			return nil, err
+		}
+		return r.Report, nil
+	}
+	prPullRun := func() (*exec.Report, error) {
+		m, err := cfg.newSim(sim.InOrder)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.PageRankPull(m, in.G, p, core.DefaultPageRankIters)
+		if err != nil {
+			return nil, err
+		}
+		return r.Report, nil
+	}
+	push, err := prPushRun()
+	if err != nil {
+		return err
+	}
+	pull, err := prPullRun()
+	if err != nil {
+		return err
+	}
+	t.Addf("PageRank", "push+locks (paper)", p, push.Time,
+		100*push.Breakdown.Fractions()[exec.CompSync], 1.0)
+	t.Addf("PageRank", "pull, no locks", p, pull.Time,
+		100*pull.Breakdown.Fractions()[exec.CompSync],
+		float64(push.Time)/float64(pull.Time))
+
+	ps := cfg.bestThreads("SSSP_DIJK")
+	mExact, err := cfg.newSim(sim.InOrder)
+	if err != nil {
+		return err
+	}
+	exact, err := core.SSSP(mExact, in.G, 0, ps)
+	if err != nil {
+		return err
+	}
+	mDelta, err := cfg.newSim(sim.InOrder)
+	if err != nil {
+		return err
+	}
+	wide, err := core.SSSPDelta(mDelta, in.G, 0, ps, 32)
+	if err != nil {
+		return err
+	}
+	t.Addf("SSSP", "exact fronts (paper)", ps, exact.Report.Time,
+		100*exact.Report.Breakdown.Fractions()[exec.CompSync], 1.0)
+	t.Addf("SSSP", "delta-stepping (d=32)", ps, wide.Report.Time,
+		100*wide.Report.Breakdown.Fractions()[exec.CompSync],
+		float64(exact.Report.Time)/float64(wide.Report.Time))
+	if err := cfg.emit("abl-formulation", t); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(cfg.Out, "\nrounds: exact=%d delta=%d\n", exact.Rounds, wide.Rounds)
+	return err
+}
+
+// RunAblationReorder measures vertex reordering — the software locality
+// optimization for the unstructured-access problem the paper
+// characterizes. PageRank runs on the same social graph before and after
+// BFS relabeling.
+func RunAblationReorder(cfg *Config) error {
+	t := stats.NewTable(
+		"Ablation: BFS vertex reordering (PageRank on a social graph)",
+		"Layout", "LocalityScore", "Time", "L1Miss%", "Speedup-vs-original")
+	g := graph.SocialNet(cfg.SparseN()/2, 14, cfg.Seed)
+	rg, _ := graph.ReorderBFS(g, 0)
+	p := cfg.bestThreads("PageRank")
+	run := func(gr *graph.CSR) (*exec.Report, error) {
+		m, err := cfg.newSim(sim.InOrder)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.PageRank(m, gr, p, core.DefaultPageRankIters)
+		if err != nil {
+			return nil, err
+		}
+		return r.Report, nil
+	}
+	base, err := run(g)
+	if err != nil {
+		return err
+	}
+	reord, err := run(rg)
+	if err != nil {
+		return err
+	}
+	t.Addf("original", graph.Locality(g, 256), base.Time, base.Cache.L1MissRate(), 1.0)
+	t.Addf("BFS-relabeled", graph.Locality(rg, 256), reord.Time, reord.Cache.L1MissRate(),
+		float64(base.Time)/float64(reord.Time))
+	return cfg.emit("abl-reorder", t)
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+
+	"crono/internal/core"
+	"crono/internal/graph"
+	"crono/internal/sim"
+	"crono/internal/stats"
+)
+
+// RunFig5 reproduces Figure 5: the vertex scalability study. Sparse-graph
+// benchmarks sweep four vertex counts (paper: 16K to 4M), APSP and
+// BETW_CENT sweep matrix sizes (paper: 1K to 32K) and TSP sweeps city
+// counts (paper: 4 to 32). Speedups are at the best thread count,
+// relative to the 1-thread run on the same input.
+func RunFig5(cfg *Config) error {
+	base := cfg.SparseN()
+	sparseSweep := []int{base / 4, base / 2, base, base * 2}
+	mbase := cfg.MatrixN()
+	matrixSweep := []int{mbase / 8, mbase / 4, mbase / 2, mbase}
+	top := cfg.TSPCities()
+	citySweep := []int{top - 6, top - 4, top - 2, top}
+	for i, c := range citySweep {
+		if c < 4 {
+			citySweep[i] = 4
+		}
+	}
+
+	t := stats.NewTable(
+		"Figure 5: vertex scalability (best-thread speedup per input size)",
+		"Benchmark", "Size1", "Sp1", "Size2", "Sp2", "Size3", "Sp3", "Size4", "Sp4")
+
+	for _, b := range core.Suite() {
+		row := []string{b.Name}
+		var sizes []int
+		switch {
+		case b.UsesMatrix:
+			sizes = matrixSweep
+		case b.UsesCities:
+			sizes = citySweep
+		default:
+			sizes = sparseSweep
+		}
+		for _, n := range sizes {
+			var in core.Input
+			switch {
+			case b.UsesMatrix:
+				in = core.Input{D: graph.DenseFromCSR(graph.UniformSparse(n, 8, 50, cfg.Seed+1))}
+			case b.UsesCities:
+				in = core.Input{Cities: graph.Cities(n, cfg.Seed+2)}
+			default:
+				in = core.Input{G: graph.UniformSparse(n, 8, 100, cfg.Seed), Source: 0}
+			}
+			seq, err := cfg.runSim(b, in, 1, sim.InOrder)
+			if err != nil {
+				return err
+			}
+			best, err := cfg.runSim(b, in, cfg.bestThreads(b.Name), sim.InOrder)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprint(n), fmt.Sprintf("%.2f", stats.Speedup(seq.Time, best.Time)))
+		}
+		t.Add(row...)
+	}
+	if err := cfg.emit("fig5", t); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(cfg.Out, "\nExpected trend (paper): all benchmarks show positive scaling as input size grows.")
+	return err
+}

@@ -1,0 +1,258 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section. Each experiment is a self-contained driver that
+// builds the inputs, runs the suite on the right platform and prints the
+// same rows or series the paper reports. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/native"
+	"crono/internal/sim"
+	"crono/internal/stats"
+)
+
+// Config parametrizes an experiment run.
+type Config struct {
+	// Out receives the experiment's report.
+	Out io.Writer
+	// Scale multiplies the default input sizes (1.0 = the scaled-down
+	// defaults documented in DESIGN.md; the paper's full-size inputs
+	// correspond to roughly Scale=64 for the sparse graph).
+	Scale float64
+	// Threads is the simulated thread-count sweep for Figure 1.
+	Threads []int
+	// Seed drives all graph generation.
+	Seed int64
+	// Cores overrides the simulated core count (default Table II: 256).
+	Cores int
+	// CSVDir, when set, additionally writes every table as
+	// <CSVDir>/<name>.csv.
+	CSVDir string
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig(out io.Writer) *Config {
+	return &Config{
+		Out:     out,
+		Scale:   1.0,
+		Threads: []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		Seed:    42,
+		Cores:   256,
+	}
+}
+
+func (c *Config) scaleInt(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// SparseN is the vertex count of the default synthetic sparse input
+// (paper: 1,048,576 vertices with 16 edges per vertex).
+func (c *Config) SparseN() int { return c.scaleInt(16384) }
+
+// MatrixN is the vertex count of the APSP/BETW_CENT adjacency matrix
+// (paper: 16,384).
+func (c *Config) MatrixN() int { return c.scaleInt(512) }
+
+// TSPCities is the TSP city count (paper: 32).
+func (c *Config) TSPCities() int {
+	n := 12
+	if c.Scale < 0.5 {
+		n = 9
+	}
+	return n
+}
+
+// NativeN is the vertex count used on the real-machine platform.
+func (c *Config) NativeN() int { return c.scaleInt(131072) }
+
+func (c *Config) threads() []int {
+	if len(c.Threads) > 0 {
+		return c.Threads
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+func (c *Config) maxThreads() int {
+	m := 1
+	for _, t := range c.threads() {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// simConfig builds the Table II machine configuration.
+func (c *Config) simConfig(ct sim.CoreType) sim.Config {
+	cfg := sim.Default()
+	if c.Cores > 0 {
+		cfg.Cores = c.Cores
+	}
+	cfg.CoreType = ct
+	return cfg
+}
+
+func (c *Config) newSim(ct sim.CoreType) (*sim.Machine, error) {
+	return sim.New(c.simConfig(ct))
+}
+
+// BestThreads is the per-benchmark thread count giving the highest
+// simulated speedup under the default configuration; the "best thread
+// count" experiments (Figures 2-4 and 6-8) run there.
+var BestThreads = map[string]int{
+	"SSSP_DIJK": 64,
+	"APSP":      256,
+	"BETW_CENT": 256,
+	"BFS":       256,
+	"DFS":       128,
+	"TSP":       128,
+	"CONN_COMP": 256,
+	"TRI_CNT":   256,
+	"PageRank":  128,
+	"COMM":      256,
+}
+
+func (c *Config) bestThreads(bench string) int {
+	best := BestThreads[bench]
+	if best == 0 {
+		best = 64
+	}
+	if mt := c.maxThreads(); best > mt {
+		best = mt
+	}
+	if c.Cores > 0 && best > c.Cores {
+		best = c.Cores
+	}
+	return best
+}
+
+// inputs builds and caches the default benchmark inputs for one
+// experiment invocation.
+type inputs struct {
+	cfg    *Config
+	sparse *graph.CSR
+	dense  *graph.Dense
+	cities *graph.Dense
+}
+
+func newInputs(cfg *Config) *inputs { return &inputs{cfg: cfg} }
+
+func (in *inputs) forBench(b core.Benchmark) core.Input {
+	switch {
+	case b.UsesMatrix:
+		if in.dense == nil {
+			g := graph.UniformSparse(in.cfg.MatrixN(), 8, 50, in.cfg.Seed+1)
+			in.dense = graph.DenseFromCSR(g)
+		}
+		return core.Input{D: in.dense}
+	case b.UsesCities:
+		if in.cities == nil {
+			in.cities = graph.Cities(in.cfg.TSPCities(), in.cfg.Seed+2)
+		}
+		return core.Input{Cities: in.cities}
+	default:
+		if in.sparse == nil {
+			in.sparse = graph.UniformSparse(in.cfg.SparseN(), 8, 100, in.cfg.Seed)
+		}
+		return core.Input{G: in.sparse, Source: 0}
+	}
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the harness identifier, e.g. "fig1".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and writes its report to cfg.Out.
+	Run func(cfg *Config) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab1", "Table I: benchmarks and parallelizations", RunTable1},
+		{"tab2", "Table II: Graphite architectural parameters", RunTable2},
+		{"tab3", "Table III: input graphs", RunTable3},
+		{"tab4", "Table IV: best speedups across graph types", RunTable4},
+		{"fig1", "Figure 1: completion time breakdowns and scalability", RunFig1},
+		{"fig2", "Figure 2: active vertices over execution time", RunFig2},
+		{"fig3", "Figure 3: private L1 miss rate breakdown", RunFig3},
+		{"fig4", "Figure 4: cache hierarchy miss rates", RunFig4},
+		{"fig5", "Figure 5: vertex scalability", RunFig5},
+		{"fig6", "Figure 6: dynamic energy breakdowns", RunFig6},
+		{"fig7", "Figure 7: out-of-order completion time breakdowns", RunFig7},
+		{"fig8", "Figure 8: out-of-order speedups", RunFig8},
+		{"fig9", "Figure 9: real machine speedups", RunFig9},
+		{"abl-dir", "Ablation: ACKWise-4 vs full-map directory", RunAblationDirectory},
+		{"abl-locality", "Ablation: locality-aware coherence (Section VII)", RunAblationLocality},
+		{"abl-window", "Ablation: lax-synchronization window", RunAblationWindow},
+		{"abl-routing", "Ablation: XY vs oblivious routing (Section VII)", RunAblationRouting},
+		{"abl-prefetch", "Ablation: next-line L1 prefetcher", RunAblationPrefetch},
+		{"abl-hetero", "Ablation: heterogeneous master core (Section VII)", RunAblationHetero},
+		{"abl-formulation", "Ablation: push vs pull PageRank, exact vs delta SSSP", RunAblationFormulation},
+		{"abl-reorder", "Ablation: BFS vertex reordering for locality", RunAblationReorder},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// emit prints a table to the configured writer and, when CSVDir is set,
+// writes it as <CSVDir>/<name>.csv.
+func (c *Config) emit(name string, t *stats.Table) error {
+	if err := t.Fprint(c.Out); err != nil {
+		return err
+	}
+	if c.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.CSVDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.CSVDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+// runSim executes benchmark b on a fresh Table II machine.
+func (c *Config) runSim(b core.Benchmark, in core.Input, threads int, ct sim.CoreType) (*exec.Report, error) {
+	m, err := c.newSim(ct)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(m, in, threads)
+}
+
+// runNative executes benchmark b on the host.
+func runNative(b core.Benchmark, in core.Input, threads int) (*exec.Report, error) {
+	return b.Run(native.New(), in, threads)
+}

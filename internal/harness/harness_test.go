@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crono/internal/core"
+)
+
+// tinyConfig keeps harness smoke tests fast: minimal inputs, few threads,
+// a small simulated machine.
+func tinyConfig(buf *bytes.Buffer) *Config {
+	return &Config{
+		Out:     buf,
+		Scale:   0.02, // clamps to the 16-vertex floor for most inputs
+		Threads: []int{1, 4},
+		Seed:    7,
+		Cores:   16,
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 13 {
+		t.Fatalf("only %d experiments", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"tab1", "tab2", "tab3", "tab4", "fig1", "fig2",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		if !ids[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if _, err := ByID("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestConfigSizing(t *testing.T) {
+	cfg := DefaultConfig(nil)
+	if cfg.SparseN() != 16384 || cfg.MatrixN() != 512 {
+		t.Fatalf("default sizes %d/%d", cfg.SparseN(), cfg.MatrixN())
+	}
+	cfg.Scale = 0.5
+	if cfg.SparseN() != 8192 {
+		t.Fatalf("scaled size %d", cfg.SparseN())
+	}
+	cfg.Scale = 1e-9
+	if cfg.SparseN() < 16 {
+		t.Fatal("size floor missing")
+	}
+	if cfg.TSPCities() < 4 {
+		t.Fatal("city floor missing")
+	}
+}
+
+func TestBestThreadsClamped(t *testing.T) {
+	cfg := DefaultConfig(nil)
+	cfg.Threads = []int{1, 2}
+	if got := cfg.bestThreads("APSP"); got != 2 {
+		t.Fatalf("best threads %d, want clamp to 2", got)
+	}
+	cfg = DefaultConfig(nil)
+	cfg.Cores = 16
+	if got := cfg.bestThreads("APSP"); got != 16 {
+		t.Fatalf("best threads %d, want clamp to cores", got)
+	}
+	if got := DefaultConfig(nil).bestThreads("unknown"); got != 64 {
+		t.Fatalf("fallback best threads %d", got)
+	}
+}
+
+func TestStaticTablesRun(t *testing.T) {
+	for _, id := range []string{"tab1", "tab2", "tab3"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestFig1RunsTiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig1(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SSSP_DIJK", "APSP", "COMM", "best speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestBestThreadExperimentsRunTiny(t *testing.T) {
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "PageRank") {
+			t.Fatalf("%s output missing benchmarks:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestAblationsRunTiny(t *testing.T) {
+	for _, id := range []string{"abl-dir", "abl-locality", "abl-window"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestInputsCached(t *testing.T) {
+	cfg := tinyConfig(&bytes.Buffer{})
+	ins := newInputs(cfg)
+	var sparseBench, matrixBench, cityBench = 0, 1, 5 // SSSP, APSP, TSP
+	suite := core.Suite()
+	a := ins.forBench(suite[sparseBench])
+	b := ins.forBench(suite[sparseBench])
+	if a.G != b.G {
+		t.Fatal("sparse input not cached")
+	}
+	if ins.forBench(suite[matrixBench]).D == nil {
+		t.Fatal("matrix input missing")
+	}
+	if ins.forBench(suite[cityBench]).Cities == nil {
+		t.Fatal("cities input missing")
+	}
+}
+
+func TestHeavyExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy harness smoke tests")
+	}
+	for _, id := range []string{"fig5", "tab4", "fig9"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "SSSP_DIJK") {
+			t.Fatalf("%s output incomplete", id)
+		}
+	}
+}
+
+func TestNewAblationsRunTiny(t *testing.T) {
+	for _, id := range []string{"abl-routing", "abl-prefetch", "abl-hetero", "abl-formulation", "abl-reorder"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.CSVDir = t.TempDir()
+	if err := RunTable1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.CSVDir, "tab1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SSSP_DIJK") {
+		t.Fatalf("csv incomplete: %s", data)
+	}
+}

@@ -1,0 +1,239 @@
+// Package native implements the exec.Platform on real host hardware using
+// goroutines. It is the reproduction of the paper's "real machine setup"
+// (Section IV-C / Figure 9): kernels run at full speed, annotation calls
+// reduce to per-thread counters, and locks and barriers map to Go
+// synchronization primitives.
+package native
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"crono/internal/exec"
+)
+
+// activeTracePoints caps the length of the reconstructed active-vertex
+// trace returned in reports.
+const activeTracePoints = 2048
+
+// Platform is a native goroutine execution platform. The zero value is
+// ready to use.
+type Platform struct {
+	// MeasureLockWait, when set, times every lock acquisition and
+	// attributes waiting to the Synchronization breakdown component.
+	// It adds two clock reads per lock, so it is off by default.
+	MeasureLockWait bool
+
+	allocMu sync.Mutex
+	next    exec.Addr
+}
+
+var _ exec.Platform = (*Platform)(nil)
+
+// New returns a native platform.
+func New() *Platform { return &Platform{} }
+
+// Name implements exec.Platform.
+func (p *Platform) Name() string { return "native" }
+
+// Alloc implements exec.Platform. Addresses are line-aligned so the same
+// kernel code drives the simulator unchanged.
+func (p *Platform) Alloc(name string, elems, elemSize int) exec.Region {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	if p.next == 0 {
+		p.next = exec.LineSize // keep address 0 unused
+	}
+	base := p.next
+	bytes := uint64(elems) * uint64(elemSize)
+	bytes = (bytes + exec.LineSize - 1) &^ uint64(exec.LineSize-1)
+	p.next += bytes
+	return exec.Region{Name: name, Base: base, ElemSize: uint64(elemSize), Elems: uint64(elems)}
+}
+
+type nativeLock struct{ mu sync.Mutex }
+
+// NewLock implements exec.Platform.
+func (p *Platform) NewLock() exec.Lock { return &nativeLock{} }
+
+// nativeBarrier is a reusable generation-counted barrier.
+type nativeBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier implements exec.Platform.
+func (p *Platform) NewBarrier(parties int) exec.Barrier {
+	b := &nativeBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *nativeBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// pad separates per-thread hot counters onto distinct cache lines.
+type threadState struct {
+	instr    uint64
+	busyNs   uint64
+	syncNs   uint64
+	samples  []exec.ActiveSample
+	_padding [64]byte //nolint:unused // false-sharing guard
+}
+
+type ctx struct {
+	tid     int
+	threads int
+	p       *Platform
+	run     *runState
+	st      *threadState
+}
+
+type runState struct {
+	startNs int64
+	measure bool
+}
+
+var _ exec.Ctx = (*ctx)(nil)
+
+func (c *ctx) TID() int     { return c.tid }
+func (c *ctx) Threads() int { return c.threads }
+
+func (c *ctx) Load(exec.Addr)  { c.st.instr++ }
+func (c *ctx) Store(exec.Addr) { c.st.instr++ }
+func (c *ctx) Compute(n int)   { c.st.instr += uint64(n) }
+
+func (c *ctx) LoadSpan(_ exec.Addr, elems, _ int) {
+	if elems > 0 {
+		c.st.instr += uint64(elems)
+	}
+}
+
+func (c *ctx) StoreSpan(_ exec.Addr, elems, _ int) {
+	if elems > 0 {
+		c.st.instr += uint64(elems)
+	}
+}
+
+func (c *ctx) Lock(l exec.Lock) {
+	c.st.instr++
+	nl := l.(*nativeLock)
+	if c.run.measure {
+		t0 := time.Now()
+		nl.mu.Lock()
+		c.st.syncNs += uint64(time.Since(t0))
+		return
+	}
+	nl.mu.Lock()
+}
+
+func (c *ctx) Unlock(l exec.Lock) {
+	c.st.instr++
+	l.(*nativeLock).mu.Unlock()
+}
+
+func (c *ctx) Barrier(b exec.Barrier) {
+	nb := b.(*nativeBarrier)
+	t0 := time.Now()
+	nb.wait()
+	c.st.syncNs += uint64(time.Since(t0))
+}
+
+// Active records the delta against wall time; the global active-vertex
+// series is reconstructed by prefix sum when the run completes.
+func (c *ctx) Active(delta int) {
+	if delta == 0 {
+		return
+	}
+	c.st.samples = append(c.st.samples, exec.ActiveSample{
+		Time:   uint64(time.Now().UnixNano() - c.run.startNs),
+		Active: int64(delta),
+	})
+}
+
+// Run implements exec.Platform. It measures the parallel region only.
+func (p *Platform) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	if threads < 1 {
+		threads = 1
+	}
+	run := &runState{measure: p.MeasureLockWait}
+	states := make([]threadState, threads)
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	start := time.Now()
+	run.startNs = start.UnixNano()
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			t0 := time.Now()
+			body(&ctx{tid: tid, threads: threads, p: p, run: run, st: &states[tid]})
+			states[tid].busyNs = uint64(time.Since(t0))
+		}(t)
+	}
+	wg.Wait()
+	elapsed := uint64(time.Since(start))
+
+	rep := &exec.Report{
+		Platform:     p.Name(),
+		Threads:      threads,
+		Time:         elapsed,
+		Instructions: make([]uint64, threads),
+		ThreadTime:   make([]uint64, threads),
+	}
+	var trace []exec.ActiveSample
+	var syncNs uint64
+	for t := range states {
+		rep.Instructions[t] = states[t].instr
+		rep.ThreadTime[t] = states[t].busyNs
+		syncNs += states[t].syncNs
+		trace = append(trace, states[t].samples...)
+	}
+	rep.ActiveTrace = reconstructTrace(trace, activeTracePoints)
+	rep.Breakdown[exec.CompSync] = syncNs
+	total := elapsed * uint64(threads)
+	if total > syncNs {
+		rep.Breakdown[exec.CompCompute] = total - syncNs
+	}
+	return rep
+}
+
+// reconstructTrace merges per-thread delta samples by time, prefix-sums
+// them into the global gauge and downsamples to maxPoints entries.
+func reconstructTrace(deltas []exec.ActiveSample, maxPoints int) []exec.ActiveSample {
+	if len(deltas) == 0 {
+		return nil
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Time < deltas[j].Time })
+	var run int64
+	for i := range deltas {
+		run += deltas[i].Active
+		deltas[i].Active = run
+	}
+	if len(deltas) <= maxPoints {
+		return deltas
+	}
+	step := (len(deltas) + maxPoints - 1) / maxPoints
+	out := deltas[:0]
+	for i := 0; i < len(deltas); i += step {
+		out = append(out, deltas[i])
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"crono/internal/exec"
+)
+
+func TestAllocAlignedAndDisjoint(t *testing.T) {
+	p := New()
+	a := p.Alloc("a", 5, 4)
+	b := p.Alloc("b", 100, 8)
+	if a.Base%exec.LineSize != 0 || b.Base%exec.LineSize != 0 {
+		t.Fatal("regions not line aligned")
+	}
+	if b.Base < a.Base+a.Bytes() {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestRunCountsInstructions(t *testing.T) {
+	p := New()
+	r := p.Alloc("x", 64, 4)
+	rep := p.Run(3, func(c exec.Ctx) {
+		c.Load(r.At(0))
+		c.Store(r.At(1))
+		c.Compute(5)
+		c.LoadSpan(r.At(0), 10, 4)
+		c.StoreSpan(r.At(0), 3, 4)
+	})
+	if rep.Threads != 3 {
+		t.Fatalf("threads %d", rep.Threads)
+	}
+	for tid, n := range rep.Instructions {
+		if n != 1+1+5+10+3 {
+			t.Fatalf("thread %d counted %d instructions, want 20", tid, n)
+		}
+	}
+	if rep.Time == 0 {
+		t.Fatal("no elapsed time")
+	}
+	if len(rep.ThreadTime) != 3 {
+		t.Fatal("missing per-thread times")
+	}
+}
+
+func TestLocksProvideMutualExclusion(t *testing.T) {
+	p := New()
+	l := p.NewLock()
+	counter := 0
+	rep := p.Run(8, func(c exec.Ctx) {
+		for i := 0; i < 1000; i++ {
+			c.Lock(l)
+			counter++
+			c.Unlock(l)
+		}
+	})
+	if counter != 8000 {
+		t.Fatalf("counter %d, want 8000 (lost updates)", counter)
+	}
+	_ = rep
+}
+
+func TestBarrierSynchronizesPhases(t *testing.T) {
+	p := New()
+	bar := p.NewBarrier(4)
+	var phase atomic.Int32
+	fail := atomic.Bool{}
+	p.Run(4, func(c exec.Ctx) {
+		for round := int32(1); round <= 10; round++ {
+			phase.Store(round)
+			c.Barrier(bar)
+			if phase.Load() != round {
+				fail.Store(true)
+			}
+			c.Barrier(bar)
+		}
+	})
+	if fail.Load() {
+		t.Fatal("thread escaped a barrier early")
+	}
+}
+
+func TestActiveTraceReconstruction(t *testing.T) {
+	p := New()
+	rep := p.Run(4, func(c exec.Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Active(1)
+		}
+		for i := 0; i < 100; i++ {
+			c.Active(-1)
+		}
+	})
+	if len(rep.ActiveTrace) == 0 {
+		t.Fatal("no trace")
+	}
+	// Prefix-sum reconstruction: the gauge peaks at one thread's worth
+	// of increments at minimum (a single-CPU host may serialize the
+	// threads completely) and at 4 threads' worth at most; the series
+	// must be time ordered and return to zero.
+	var peak int64
+	for i, s := range rep.ActiveTrace {
+		if s.Active > peak {
+			peak = s.Active
+		}
+		if i > 0 && s.Time < rep.ActiveTrace[i-1].Time {
+			t.Fatal("trace not time ordered")
+		}
+	}
+	if peak < 100 || peak > 400 {
+		t.Fatalf("peak gauge %d, want within [100,400]", peak)
+	}
+	if last := rep.ActiveTrace[len(rep.ActiveTrace)-1].Active; last != 0 {
+		t.Fatalf("final gauge %d, want 0", last)
+	}
+}
+
+func TestMeasureLockWait(t *testing.T) {
+	p := New()
+	p.MeasureLockWait = true
+	l := p.NewLock()
+	rep := p.Run(4, func(c exec.Ctx) {
+		for i := 0; i < 200; i++ {
+			c.Lock(l)
+			for s := 0; s < 100; s++ {
+				c.Compute(1)
+			}
+			c.Unlock(l)
+		}
+	})
+	// With a single contended lock, some wait should be visible.
+	if rep.Breakdown[exec.CompSync] == 0 {
+		t.Skip("no lock contention observed on this host")
+	}
+}
+
+func TestRunClampsThreadCount(t *testing.T) {
+	p := New()
+	rep := p.Run(0, func(c exec.Ctx) {
+		if c.Threads() != 1 {
+			t.Errorf("threads %d", c.Threads())
+		}
+	})
+	if rep.Threads != 1 {
+		t.Fatalf("report threads %d", rep.Threads)
+	}
+}

@@ -1,0 +1,234 @@
+// Package noc models the on-chip interconnect of Table II: an electrical
+// 2-D mesh with XY dimension-ordered routing, a 2-cycle hop latency
+// (1 router + 1 link), 64-bit flits, infinite input buffers and link
+// contention only.
+//
+// Contention is modeled analytically, as in Graphite: each link tracks
+// its cumulative utilization (reserved flit-cycles over the virtual-time
+// horizon it has seen) and charges an M/D/1-style queueing delay
+// rho/(1-rho) * service/2 per traversal. The model is insensitive to the
+// order in which threads with skewed lax-synchronization clocks present
+// their packets — a strict per-link reservation calendar would let a
+// virtual-time front-runner block laggards that are arriving "in its
+// past" and serialize the whole machine.
+package noc
+
+import "fmt"
+
+// maxRho caps the utilization used in the queueing formula so a saturated
+// link models a deep (but finite) queue.
+const maxRho = 0.95
+
+// Routing selects the dimension-ordered routing policy.
+type Routing int
+
+const (
+	// RouteXY is deterministic X-then-Y routing (Table II default).
+	RouteXY Routing = iota
+	// RouteYX is deterministic Y-then-X routing.
+	RouteYX
+	// RouteOblivious picks XY or YX per packet (O1TURN-style), spreading
+	// traffic over both dimension orders — the contention-reduction
+	// technique the paper's Section VII-B points to.
+	RouteOblivious
+)
+
+// String names the routing policy.
+func (r Routing) String() string {
+	switch r {
+	case RouteYX:
+		return "YX"
+	case RouteOblivious:
+		return "oblivious"
+	}
+	return "XY"
+}
+
+// Mesh is a W x H mesh of tiles. It is not safe for concurrent use; the
+// simulator serializes access behind its machine lock.
+type Mesh struct {
+	// Width and Height are the mesh dimensions.
+	Width, Height int
+	// HopCycles is the per-hop latency in cycles (router + link).
+	HopCycles uint64
+	// FlitBits is the link width.
+	FlitBits int
+
+	// linkBusy[tile*4+dir] accumulates reserved flit-cycles on the
+	// directed link out of tile in direction dir; linkHorizon is the
+	// latest virtual time the link has observed.
+	linkBusy    []uint64
+	linkHorizon []uint64
+	queued      uint64
+	policy      Routing
+	packets     uint64
+}
+
+// Directions of mesh links.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds a mesh for the given tile count, which must be a perfect
+// square (the paper's 256-core target is a 16x16 mesh).
+func New(tiles int, hopCycles uint64, flitBits int) (*Mesh, error) {
+	w := intSqrt(tiles)
+	if w*w != tiles || tiles == 0 {
+		return nil, fmt.Errorf("noc: tile count %d is not a positive square", tiles)
+	}
+	if flitBits <= 0 {
+		return nil, fmt.Errorf("noc: flit width %d", flitBits)
+	}
+	return &Mesh{
+		Width:       w,
+		Height:      w,
+		HopCycles:   hopCycles,
+		FlitBits:    flitBits,
+		linkBusy:    make([]uint64, tiles*4),
+		linkHorizon: make([]uint64, tiles*4),
+	}, nil
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// SetRouting selects the routing policy (default RouteXY).
+func (m *Mesh) SetRouting(r Routing) { m.policy = r }
+
+// Routing returns the active routing policy.
+func (m *Mesh) Routing() Routing { return m.policy }
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return m.Width * m.Height }
+
+// XY returns the mesh coordinates of tile t.
+func (m *Mesh) XY(t int) (x, y int) { return t % m.Width, t / m.Width }
+
+// Hops returns the Manhattan distance between tiles a and b.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Diameter returns the largest hop count on the mesh.
+func (m *Mesh) Diameter() int { return m.Width - 1 + m.Height - 1 }
+
+// Flits returns the number of flits needed for a payload of bits.
+func (m *Mesh) Flits(bits int) int {
+	f := (bits + m.FlitBits - 1) / m.FlitBits
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// QueueDelay returns the utilization-based queueing estimate for a
+// resource with the given cumulative busy time, observation horizon and
+// per-request service time: rho/(1-rho) * service/2, with rho capped.
+func QueueDelay(busy, horizon, service uint64) uint64 {
+	if busy == 0 || horizon == 0 {
+		return 0
+	}
+	rho := float64(busy) / float64(horizon)
+	if rho > maxRho {
+		rho = maxRho
+	}
+	return uint64(rho/(1-rho)*float64(service)/2 + 0.5)
+}
+
+// Traverse sends a packet of the given bits from tile a to tile b
+// starting at cycle start, following XY routing and charging a
+// utilization-based queueing delay on every traversed link. It returns
+// the head-arrival cycle at b and the number of flit-hops consumed (for
+// router/link energy accounting).
+func (m *Mesh) Traverse(a, b int, bits int, start uint64) (arrival uint64, flitHops int) {
+	if a == b {
+		return start, 0
+	}
+	flits := uint64(m.Flits(bits))
+	m.packets++
+	yFirst := m.policy == RouteYX || (m.policy == RouteOblivious && m.packets%2 == 1)
+	t := start
+	cur := a
+	for cur != b {
+		next, dir := m.dimNext(cur, b, yFirst)
+		idx := cur*4 + dir
+		if t > m.linkHorizon[idx] {
+			m.linkHorizon[idx] = t
+		}
+		wait := QueueDelay(m.linkBusy[idx], m.linkHorizon[idx], flits)
+		m.queued += wait
+		m.linkBusy[idx] += flits
+		t += wait + m.HopCycles
+		flitHops += int(flits)
+		cur = next
+	}
+	return t, flitHops
+}
+
+// dimNext returns the next tile and outgoing link direction under
+// dimension-ordered routing (X first unless yFirst) from cur toward dst.
+func (m *Mesh) dimNext(cur, dst int, yFirst bool) (next, dir int) {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	if yFirst {
+		switch {
+		case cy < dy:
+			return cur + m.Width, dirSouth
+		case cy > dy:
+			return cur - m.Width, dirNorth
+		case cx < dx:
+			return cur + 1, dirEast
+		default:
+			return cur - 1, dirWest
+		}
+	}
+	switch {
+	case cx < dx:
+		return cur + 1, dirEast
+	case cx > dx:
+		return cur - 1, dirWest
+	case cy < dy:
+		return cur + m.Width, dirSouth
+	default:
+		return cur - m.Width, dirNorth
+	}
+}
+
+// xyNext is dimNext with the default XY order (kept for tests).
+func (m *Mesh) xyNext(cur, dst int) (next, dir int) { return m.dimNext(cur, dst, false) }
+
+// RoundTrip is the uncontended round-trip latency between tiles a and b
+// (used for invalidation estimates): two traversals at hop latency.
+func (m *Mesh) RoundTrip(a, b int) uint64 {
+	return 2 * uint64(m.Hops(a, b)) * m.HopCycles
+}
+
+// DebugStats reports aggregate contention counters: the total queueing
+// delay charged, the busiest link's reserved flit-cycles, and that link's
+// index (tile*4 + direction).
+func (m *Mesh) DebugStats() (queuedCycles uint64, busiestBusy uint64, busiest int) {
+	for i, v := range m.linkBusy {
+		if v > busiestBusy {
+			busiestBusy = v
+			busiest = i
+		}
+	}
+	return m.queued, busiestBusy, busiest
+}

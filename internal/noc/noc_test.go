@@ -1,0 +1,227 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustMesh(t *testing.T, tiles int) *Mesh {
+	t.Helper()
+	m, err := New(tiles, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsNonSquare(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 5, 15, 255} {
+		if _, err := New(n, 2, 64); err == nil {
+			t.Errorf("tile count %d accepted", n)
+		}
+	}
+	if _, err := New(16, 2, 0); err == nil {
+		t.Error("zero flit width accepted")
+	}
+}
+
+func TestTableIIMesh(t *testing.T) {
+	m := mustMesh(t, 256)
+	if m.Width != 16 || m.Height != 16 {
+		t.Fatalf("mesh %dx%d, want 16x16", m.Width, m.Height)
+	}
+	if m.Diameter() != 30 {
+		t.Fatalf("diameter %d, want 30", m.Diameter())
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := mustMesh(t, 16) // 4x4
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 15, 6}, {3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if m.Hops(c.b, c.a) != c.want {
+			t.Errorf("Hops not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := mustMesh(t, 16)
+	cases := map[int]int{1: 1, 64: 1, 65: 2, 128: 2, 576: 9, 0: 1}
+	for bits, want := range cases {
+		if got := m.Flits(bits); got != want {
+			t.Errorf("Flits(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestTraverseUncontended(t *testing.T) {
+	m := mustMesh(t, 16)
+	arr, fh := m.Traverse(0, 5, 64, 100)
+	// 2 hops at 2 cycles each.
+	if arr != 104 {
+		t.Fatalf("arrival %d, want 104", arr)
+	}
+	if fh != 2 { // 1 flit x 2 hops
+		t.Fatalf("flit-hops %d, want 2", fh)
+	}
+}
+
+func TestTraverseSelf(t *testing.T) {
+	m := mustMesh(t, 16)
+	arr, fh := m.Traverse(3, 3, 64, 42)
+	if arr != 42 || fh != 0 {
+		t.Fatalf("self traverse (%d, %d)", arr, fh)
+	}
+}
+
+func TestTraverseMultiFlitPacket(t *testing.T) {
+	m := mustMesh(t, 16)
+	_, fh := m.Traverse(0, 1, 576, 0) // 9 flits, 1 hop
+	if fh != 9 {
+		t.Fatalf("flit-hops %d, want 9", fh)
+	}
+}
+
+func TestLinkContentionQueues(t *testing.T) {
+	m := mustMesh(t, 16)
+	// Saturating traffic: 9-flit packets offered every 5 cycles over one
+	// link (demand 1.8 flits/cycle > 1). The utilization model must
+	// charge growing queueing delays.
+	var lastDelay uint64
+	for i := uint64(1); i <= 100; i++ {
+		arr, _ := m.Traverse(0, 1, 576, i*5)
+		lastDelay = arr - i*5 - m.HopCycles
+	}
+	if lastDelay == 0 {
+		t.Fatal("saturated link charged no queueing")
+	}
+	q, busy, _ := m.DebugStats()
+	if q == 0 || busy != 900 {
+		t.Fatalf("queued=%d busy=%d, want queueing and 900 flit-cycles", q, busy)
+	}
+}
+
+func TestLightTrafficQueuesLittle(t *testing.T) {
+	m := mustMesh(t, 16)
+	// 1-flit packets every 100 cycles: ~1% utilization, negligible
+	// queueing relative to the hop latency.
+	var total uint64
+	for i := uint64(1); i <= 100; i++ {
+		arr, _ := m.Traverse(0, 1, 64, i*100)
+		total += arr - i*100 - m.HopCycles
+	}
+	if total > 100 {
+		t.Fatalf("light traffic queued %d cycles total", total)
+	}
+}
+
+func TestDisjointPathsNoContention(t *testing.T) {
+	m := mustMesh(t, 16)
+	a1, _ := m.Traverse(0, 1, 576, 0)
+	a2, _ := m.Traverse(4, 5, 576, 0) // different row, disjoint links
+	if a1 != a2 {
+		t.Fatalf("disjoint paths interfered: %d vs %d", a1, a2)
+	}
+}
+
+// TestTraverseLatencyBounds property: arrival time is at least
+// start + hops*hopCycles and flit-hops = hops * flits.
+func TestTraverseLatencyBounds(t *testing.T) {
+	f := func(a, b uint8, bits uint16, start uint32) bool {
+		m, err := New(64, 2, 64)
+		if err != nil {
+			return false
+		}
+		src, dst := int(a)%64, int(b)%64
+		nbits := int(bits)%1024 + 1
+		arr, fh := m.Traverse(src, dst, nbits, uint64(start))
+		hops := m.Hops(src, dst)
+		if fh != hops*m.Flits(nbits) {
+			return false
+		}
+		return arr >= uint64(start)+uint64(hops)*m.HopCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := mustMesh(t, 256)
+	if rt := m.RoundTrip(0, 255); rt != 2*30*2 {
+		t.Fatalf("round trip %d, want 120", rt)
+	}
+}
+
+func TestXYRoutingDeterministic(t *testing.T) {
+	m := mustMesh(t, 16)
+	// XY routing: 0 -> 5 goes east first (0->1), then south (1->5).
+	next, dir := m.xyNext(0, 5)
+	if next != 1 || dir != dirEast {
+		t.Fatalf("first hop %d dir %d, want 1 east", next, dir)
+	}
+	next, dir = m.xyNext(1, 5)
+	if next != 5 || dir != dirSouth {
+		t.Fatalf("second hop %d dir %d, want 5 south", next, dir)
+	}
+}
+
+func TestRoutingPolicies(t *testing.T) {
+	m := mustMesh(t, 16)
+	if m.Routing() != RouteXY {
+		t.Fatal("default routing not XY")
+	}
+	// YX routing: 0 -> 5 goes south first.
+	m.SetRouting(RouteYX)
+	next, dir := m.dimNext(0, 5, true)
+	if next != 4 || dir != dirSouth {
+		t.Fatalf("YX first hop %d dir %d, want 4 south", next, dir)
+	}
+	if RouteXY.String() != "XY" || RouteYX.String() != "YX" || RouteOblivious.String() != "oblivious" {
+		t.Fatal("routing names wrong")
+	}
+}
+
+func TestObliviousRoutingSpreadsTraffic(t *testing.T) {
+	// Send many packets between the same corner pair: XY loads only the
+	// row-0/column-3 links; oblivious loads both dimension orders.
+	load := func(r Routing) (busiest uint64) {
+		m := mustMesh(t, 16)
+		m.SetRouting(r)
+		for i := uint64(0); i < 200; i++ {
+			m.Traverse(0, 15, 576, i*20)
+		}
+		_, busiest, _ = m.DebugStats()
+		return busiest
+	}
+	xy := load(RouteXY)
+	obl := load(RouteOblivious)
+	if obl >= xy {
+		t.Fatalf("oblivious busiest link %d not below XY %d", obl, xy)
+	}
+}
+
+func TestRoutingStillReachesDestination(t *testing.T) {
+	for _, r := range []Routing{RouteXY, RouteYX, RouteOblivious} {
+		m := mustMesh(t, 64)
+		m.SetRouting(r)
+		for a := 0; a < 64; a += 7 {
+			for b := 0; b < 64; b += 5 {
+				arr, fh := m.Traverse(a, b, 64, 0)
+				wantHops := m.Hops(a, b)
+				if fh != wantHops {
+					t.Fatalf("%v: %d->%d flit-hops %d, want %d", r, a, b, fh, wantHops)
+				}
+				if a != b && arr < uint64(wantHops)*m.HopCycles {
+					t.Fatalf("%v: arrival too early", r)
+				}
+			}
+		}
+	}
+}

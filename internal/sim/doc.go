@@ -1,0 +1,85 @@
+// This file documents the simulator's modeling assumptions in one place.
+//
+// # What is modeled
+//
+// The machine is the paper's Table II configuration: a tiled multicore on
+// an electrical 2-D mesh. Each tile has a private L1-D tag array (32 KB,
+// 4-way, true LRU), a slice of the shared inclusive NUCA L2 (256 KB,
+// 8-way), and a router. Cache lines interleave across L2 home slices by
+// line address; the directory (MESI with ACKWise-4 limited sharer
+// pointers) lives with the home slice. Eight memory controllers sit at
+// evenly spaced tiles, each with 5 GB/s of bandwidth and 100 ns latency.
+//
+// Every annotated data reference walks this model: L1 lookup; on a miss,
+// a request packet to the home tile (XY-routed, link contention charged),
+// per-line home serialization (L2Home-Waiting), the L2 access, an
+// off-chip fill on an L2 miss (L2Home-OffChip), invalidation or
+// write-back round trips to private sharers (L2Home-Sharers), and the
+// data reply. The paper's completion-time components fall directly out
+// of this walk.
+//
+// # Direct execution and lax synchronization
+//
+// Like Graphite, this is a direct-execution simulator: the benchmark's
+// real Go code computes the real answer while its annotations drive the
+// timing model, and cycle accuracy is deliberately relaxed. Each
+// simulated thread owns a private virtual clock. Three rules keep the
+// relaxation sound:
+//
+//  1. Shared hardware (links, controllers, hot lines, locks, the sync
+//     manager) charges queueing from utilization statistics
+//     (rho/(1-rho) * service/2, capped) rather than from a reservation
+//     calendar. Reservation calendars are only correct when requests
+//     arrive in nondecreasing time order, which lax clocks do not
+//     guarantee; with one, a virtual-time front-runner blocks laggards
+//     arriving "in its past" and the whole machine serializes.
+//  2. Deterministic synchronization points reconcile clocks exactly: a
+//     barrier releases every party at max(arrival) plus a cost linear in
+//     the party count (a centralized barrier serializes one counter RMW
+//     per arrival).
+//  3. A window throttle (Config.WindowCycles) bounds how far any thread
+//     may run ahead of the slowest runnable thread, so races for
+//     dynamically distributed work (vertex capture, shared stacks) are
+//     decided approximately in virtual-time order rather than by the
+//     host's goroutine scheduler. Throttled threads wait with
+//     exponential backoff: at 256 simulated threads on a small host,
+//     fine-grained polling by hundreds of waiters would starve the very
+//     laggard they wait for.
+//
+// # Synchronization cost model
+//
+// Graphite routes every pthread mutex and barrier operation as a network
+// message to a centralized sync manager ("MCP") on tile 0, which
+// services them serially. This simulator reproduces that: each
+// Lock/Unlock is a round trip to tile 0 plus a serialized service slot
+// (Config.MCPServiceCycles), with a backlog term when aggregate demand
+// exceeds capacity. This serialization — not cache misses — is what caps
+// the paper's lock-per-edge kernels (PageRank 5.37x, SSSP_DIJK 4.45x)
+// while lock-free kernels (APSP 204x) scale; the reproduction inherits
+// exactly that separation. Locks additionally perform an atomic RMW on
+// their futex word's cache line, producing the coherence ping-pong and
+// sharing misses of contended "atomic locks".
+//
+// # Out-of-order cores
+//
+// The OOO model hides a configurable fraction of L1Cache-L2Home and
+// off-chip stall time (memory-level parallelism within the 168-entry
+// ROB) and none of the home serialization, sharer invalidation or
+// synchronization time — encoding the paper's Section V-G conclusion
+// that OOO cores cannot hide on-chip communication.
+//
+// # Known simplifications
+//
+//   - The L1-I cache is not simulated structurally; instruction fetches
+//     are charged energy per instruction and assumed to hit (the kernels'
+//     code footprints are a few hundred bytes).
+//   - Store visibility is modeled at line granularity with no write
+//     buffers or memory-consistency stalls beyond home serialization.
+//   - Timing under real parallel execution is approximate: state such as
+//     LRU order and utilization statistics evolves in host-scheduler
+//     order. Single-threaded runs are bit-deterministic; multi-threaded
+//     runs vary by a few percent, which the harness treats as noise
+//     (the paper itself reports nondeterminism in graph analytics).
+//   - The SMT/context-switch behavior of the paper's real machine
+//     (Figure 9 at 16 threads on 8 hardware threads) is not modeled.
+package sim

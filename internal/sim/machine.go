@@ -1,0 +1,951 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crono/internal/cache"
+	"crono/internal/coherence"
+	"crono/internal/dram"
+	"crono/internal/energy"
+	"crono/internal/exec"
+	"crono/internal/noc"
+)
+
+// activeTracePoints caps the length of the reconstructed active-vertex
+// trace returned in reports.
+const activeTracePoints = 2048
+
+// Line dispositions for miss classification (Section IV-D).
+const (
+	dispEvicted     = 1 // previously evicted for room -> capacity miss
+	dispInvalidated = 2 // invalidated/downgraded by another core -> sharing miss
+	dispPresent     = 3 // currently (or last known) resident
+)
+
+// Machine is the simulated multicore. Create one per experiment run with
+// New; it implements exec.Platform.
+type Machine struct {
+	cfg  Config
+	mesh *noc.Mesh
+	dir  *coherence.Dir
+
+	mu     sync.Mutex // guards all shared model state below
+	l1     []*cache.Cache
+	l2     []*cache.Cache
+	mcs    []*dram.Controller
+	mcTile []int
+	lines  map[uint64]*lineStat // per-line home-serialization stats
+	disp   []map[uint64]byte    // per-core line dispositions
+	reuse  []map[uint64]uint8
+	extra  energy.Counter // events not tied to one thread (write-backs)
+
+	allocMu   sync.Mutex
+	allocNext exec.Addr
+
+	mcpBusy    uint64 // cumulative MCP service demand (guarded by mu)
+	mcpHorizon uint64
+
+	// Lax-synchronization window state: published per-thread virtual
+	// clocks (blockedClock while waiting on real synchronization) and a
+	// cached minimum. See ctx.throttle.
+	nows   []atomic.Uint64
+	winMin atomic.Uint64
+
+	dbgThrottleSlow  atomic.Uint64
+	dbgThrottleSleep atomic.Uint64
+
+	lineBits       uint
+	barrierArrival uint64 // serialized cost per barrier arrival
+	barrierRelease uint64 // barrier release broadcast cost
+}
+
+var _ exec.Platform = (*Machine)(nil)
+
+// New builds a machine from cfg (use Default() for Table II).
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := noc.New(cfg.Cores, cfg.HopCycles, cfg.FlitBits)
+	if err != nil {
+		return nil, err
+	}
+	mesh.SetRouting(cfg.Routing)
+	dir, err := coherence.New(cfg.DirPointers, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		mesh:     mesh,
+		dir:      dir,
+		l1:       make([]*cache.Cache, cfg.Cores),
+		l2:       make([]*cache.Cache, cfg.Cores),
+		mcs:      make([]*dram.Controller, cfg.MemControllers),
+		mcTile:   make([]int, cfg.MemControllers),
+		lines:    make(map[uint64]*lineStat),
+		disp:     make([]map[uint64]byte, cfg.Cores),
+		reuse:    make([]map[uint64]uint8, cfg.Cores),
+		lineBits: 6,
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		if m.l1[c], err = cache.New(cfg.L1DSizeB, cfg.L1DWays, cfg.LineBytes); err != nil {
+			return nil, err
+		}
+		if m.l2[c], err = cache.New(cfg.L2SliceSizeB, cfg.L2Ways, cfg.LineBytes); err != nil {
+			return nil, err
+		}
+		m.disp[c] = make(map[uint64]byte)
+		if cfg.LocalityAware {
+			m.reuse[c] = make(map[uint64]uint8)
+		}
+	}
+	for i := 0; i < cfg.MemControllers; i++ {
+		if m.mcs[i], err = dram.New(cfg.ClockHz, cfg.DRAMBandwidthBs, cfg.DRAMLatencyNs); err != nil {
+			return nil, err
+		}
+		// Controllers sit at evenly spaced edge tiles.
+		m.mcTile[i] = i * cfg.Cores / cfg.MemControllers
+	}
+	// Per-arrival barrier cost: a centralized shared-memory barrier
+	// serializes one atomic RMW on its counter line per arriving thread
+	// (a round trip to the line's home plus the L2 access), so barrier
+	// latency grows linearly with the party count — a first-order source
+	// of the paper's synchronization wall at 256 threads.
+	m.barrierArrival = m.avgRoundTrip() + cfg.MCPServiceCycles
+	// The release broadcast crosses the mesh once.
+	m.barrierRelease = uint64(mesh.Diameter())*cfg.HopCycles + 20
+	return m, nil
+}
+
+// placeThread spreads t threads evenly over the 2-D mesh: thread tid
+// occupies a cell of a tw x th sub-grid scaled onto the full mesh.
+// Clustering threads on the first tiles (or striding, which aliases into
+// a few mesh columns) funnels their reply traffic through a handful of
+// links and saturates them at intermediate thread counts.
+func (m *Machine) placeThread(tid, threads int) int {
+	w := m.mesh.Width
+	if threads >= m.cfg.Cores {
+		return tid
+	}
+	tw := 1
+	for tw*tw < threads {
+		tw++
+	}
+	th := (threads + tw - 1) / tw
+	gx, gy := tid%tw, tid/tw
+	x := gx * w / tw
+	y := gy * m.mesh.Height / th
+	return y*w + x
+}
+
+// avgRoundTrip is the mean uncontended round-trip latency between two
+// uniformly random tiles: the mean Manhattan distance on a WxW mesh is
+// 2(W^2-1)/(3W).
+func (m *Machine) avgRoundTrip() uint64 {
+	w := float64(m.mesh.Width)
+	meanHops := 2 * (w*w - 1) / (3 * w)
+	return uint64(2*meanHops*float64(m.cfg.HopCycles) + 0.5)
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Name implements exec.Platform.
+func (m *Machine) Name() string { return "sim" }
+
+// Alloc implements exec.Platform with a line-aligned bump allocator;
+// lines interleave across L2 home slices (NUCA).
+func (m *Machine) Alloc(name string, elems, elemSize int) exec.Region {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.allocNext == 0 {
+		m.allocNext = uint64(m.cfg.LineBytes)
+	}
+	base := m.allocNext
+	bytes := uint64(elems) * uint64(elemSize)
+	lb := uint64(m.cfg.LineBytes)
+	bytes = (bytes + lb - 1) &^ (lb - 1)
+	m.allocNext += bytes
+	return exec.Region{Name: name, Base: base, ElemSize: uint64(elemSize), Elems: uint64(elems)}
+}
+
+func (m *Machine) home(line uint64) int { return int(line % uint64(m.cfg.Cores)) }
+
+// l2Index maps a global line address to its slot within the home slice's
+// tag array. Lines reaching a slice all share the same residue modulo the
+// core count, so dividing by it removes the aliasing that would otherwise
+// fold every line into the same few sets.
+func (m *Machine) l2Index(line uint64) uint64 { return line / uint64(m.cfg.Cores) }
+
+// l2Unindex reverses l2Index for a known home slice.
+func (m *Machine) l2Unindex(idx uint64, home int) uint64 {
+	return idx*uint64(m.cfg.Cores) + uint64(home)
+}
+
+func (m *Machine) controller(line uint64) int { return int(line % uint64(m.cfg.MemControllers)) }
+
+// coreIsOOO reports whether the given core has the out-of-order pipeline:
+// either the whole machine is OOO, or the heterogeneous design point puts
+// one OOO core at tile 0 for the master thread (Section VII-B).
+func (m *Machine) coreIsOOO(core int) bool {
+	return m.cfg.CoreType == OutOfOrder || (m.cfg.HeteroMasterOOO && core == 0)
+}
+
+// lineStat tracks the cumulative home-tile occupancy of one cache line
+// for the utilization-based L2Home-Waiting model: requests to the same
+// line must serialize at the home to keep memory consistent, so a hot
+// line charges a queueing delay proportional to its utilization.
+type lineStat struct {
+	busy    uint64 // cumulative transaction occupancy at the home
+	horizon uint64 // latest virtual time observed
+	count   uint64 // transactions served
+}
+
+func (m *Machine) lineStat(line uint64) *lineStat {
+	ls := m.lines[line]
+	if ls == nil {
+		ls = &lineStat{}
+		m.lines[line] = ls
+	}
+	return ls
+}
+
+// lineWait returns the L2Home-Waiting estimate for a request to line
+// arriving at time t and updates the horizon.
+func (ls *lineStat) lineWait(t uint64) uint64 {
+	if t > ls.horizon {
+		ls.horizon = t
+	}
+	if ls.count == 0 {
+		return 0
+	}
+	return noc.QueueDelay(ls.busy, ls.horizon, ls.busy/ls.count)
+}
+
+type simLock struct {
+	mu   sync.Mutex
+	line uint64 // futex word; retained for the locality ablation
+	// Utilization stats for the lax-safe hand-off wait model: a strict
+	// "wait until the previous holder's release time" rule would let a
+	// virtual-time front-runner drag every later acquirer up to its
+	// clock even when they contend only in real time, not virtual time.
+	busy       uint64 // cumulative held cycles
+	horizon    uint64 // latest virtual time observed
+	count      uint64 // completed critical sections
+	acquiredAt uint64
+}
+
+// NewLock implements exec.Platform: each lock occupies its own cache
+// line, so lock transfers generate the coherence ping-pong the paper
+// attributes synchronization traffic to.
+func (m *Machine) NewLock() exec.Lock {
+	r := m.Alloc("lock", 1, m.cfg.LineBytes)
+	return &simLock{line: r.Base >> m.lineBits}
+}
+
+type simBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	waiting  int
+	gen      uint64
+	maxArr   uint64
+	releases [2]uint64 // release virtual time by generation parity
+	cost     uint64
+}
+
+// NewBarrier implements exec.Platform.
+func (m *Machine) NewBarrier(parties int) exec.Barrier {
+	b := &simBarrier{parties: parties, cost: uint64(parties)*m.barrierArrival + m.barrierRelease}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// ctx is the per-thread simulation context. Its virtual clock (now)
+// advances through the timing model; clocks reconcile at locks and
+// barriers (lax synchronization).
+type ctx struct {
+	m       *Machine
+	tid     int
+	core    int
+	threads int
+	ops     uint32 // accesses since the last window check
+	now     uint64
+	brk     exec.Breakdown
+	instr   uint64
+	energy  energy.Counter
+	stats   exec.CacheStats
+	samples []exec.ActiveSample
+}
+
+var _ exec.Ctx = (*ctx)(nil)
+
+// blockedClock marks a thread that is waiting on real synchronization (a
+// barrier or a contended lock) or has finished; such threads are excluded
+// from the window minimum, since they are waiting for the runnable ones.
+const blockedClock = ^uint64(0)
+
+// publish makes this thread's virtual clock visible to the window.
+func (c *ctx) publish() { c.m.nows[c.tid].Store(c.now) }
+
+// throttle bounds lax-synchronization clock skew: if this thread's
+// virtual clock is more than WindowCycles ahead of the slowest runnable
+// thread, it waits (in real time) for the laggards. Without this, the
+// real Go scheduler decides who wins races for dynamically distributed
+// work, letting one simulated thread complete vertex captures that its
+// virtually-concurrent peers should have shared.
+func (c *ctx) throttle() {
+	m := c.m
+	w := m.cfg.WindowCycles
+	if w == 0 || c.threads == 1 {
+		return
+	}
+	c.publish()
+	if c.now <= m.winMin.Load()+w {
+		return
+	}
+	m.dbgThrottleSlow.Add(1)
+	// Exponential backoff: with hundreds of simulated threads on few
+	// host CPUs, hundreds of waiters polling at a fixed fine interval
+	// would starve the very laggard they are waiting for.
+	backoff := 20 * time.Microsecond
+	const maxBackoff = 5 * time.Millisecond
+	for {
+		min := blockedClock
+		for t := range m.nows {
+			if v := m.nows[t].Load(); v < min {
+				min = v
+			}
+		}
+		if min == blockedClock {
+			return // everyone else is blocked or done
+		}
+		m.winMin.Store(min)
+		if c.now <= min+w {
+			return
+		}
+		m.dbgThrottleSleep.Add(1)
+		time.Sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// DebugThrottle reports window-throttle engagement counters.
+func (m *Machine) DebugThrottle() (slowChecks, sleeps uint64) {
+	return m.dbgThrottleSlow.Load(), m.dbgThrottleSleep.Load()
+}
+
+func (c *ctx) TID() int     { return c.tid }
+func (c *ctx) Threads() int { return c.threads }
+
+// Compute models n single-cycle pipeline instructions.
+func (c *ctx) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	c.instr += uint64(n)
+	c.energy.Instructions += uint64(n)
+	c.now += uint64(n)
+	c.brk[exec.CompCompute] += uint64(n)
+}
+
+func (c *ctx) Load(a exec.Addr)  { c.access(a, false) }
+func (c *ctx) Store(a exec.Addr) { c.access(a, true) }
+
+// LoadSpan implements exec.Ctx: one full cache transaction per touched
+// line, plus single-cycle L1 hits for the remaining elements — exactly
+// what per-element Load calls produce for a sequential scan, but without
+// running the full model per element.
+func (c *ctx) LoadSpan(a exec.Addr, elems, elemSize int) { c.span(a, elems, elemSize, false) }
+
+// StoreSpan implements exec.Ctx, as LoadSpan for writes.
+func (c *ctx) StoreSpan(a exec.Addr, elems, elemSize int) { c.span(a, elems, elemSize, true) }
+
+func (c *ctx) span(a exec.Addr, elems, elemSize int, write bool) {
+	if elems <= 0 || elemSize <= 0 {
+		return
+	}
+	m := c.m
+	lineBytes := uint64(m.cfg.LineBytes)
+	end := a + uint64(elems)*uint64(elemSize)
+	for cur := a; cur < end; {
+		// Elements whose first byte falls in cur's line.
+		lineEnd := (cur>>m.lineBits + 1) * lineBytes
+		n := int((lineEnd - cur + uint64(elemSize) - 1) / uint64(elemSize))
+		if rem := int((end - cur + uint64(elemSize) - 1) / uint64(elemSize)); n > rem {
+			n = rem
+		}
+		c.access(cur, write) // full model once per line
+		if n > 1 {
+			extra := uint64(n - 1)
+			c.instr += extra
+			c.energy.Instructions += extra
+			c.energy.L1DAccesses += extra
+			c.stats.L1DAccesses += extra
+			c.now += extra * m.cfg.L1LatencyCycles
+			c.brk[exec.CompCompute] += extra * m.cfg.L1LatencyCycles
+		}
+		cur += uint64(n) * uint64(elemSize)
+	}
+}
+
+// access runs one data reference through the full memory-system model.
+func (c *ctx) access(addr exec.Addr, write bool) {
+	m := c.m
+	c.ops++
+	if c.ops >= 256 {
+		c.ops = 0
+		c.throttle()
+	}
+	// Base pipeline cycle (includes the 1-cycle L1 hit, Table II).
+	c.instr++
+	c.energy.Instructions++
+	c.now += m.cfg.L1LatencyCycles
+	c.brk[exec.CompCompute] += m.cfg.L1LatencyCycles
+	c.energy.L1DAccesses++
+	c.stats.L1DAccesses++
+
+	line := addr >> m.lineBits
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	st := m.l1[c.core].Lookup(line)
+	if st != cache.Invalid && (!write || st == cache.Modified || st == cache.Exclusive) {
+		if write && st == cache.Exclusive {
+			// Silent E->M upgrade.
+			m.l1[c.core].SetState(line, cache.Modified)
+			m.dir.Write(line, c.core)
+		}
+		return
+	}
+
+	if m.cfg.LocalityAware && st == cache.Invalid {
+		r := m.reuse[c.core]
+		if int(r[line]) < m.cfg.LocalityThreshold {
+			r[line]++
+			c.remoteAccess(line, write)
+			return
+		}
+	}
+
+	if st == cache.Invalid {
+		// True L1 miss: classify per Section IV-D.
+		cl := exec.MissCold
+		switch m.disp[c.core][line] {
+		case dispEvicted:
+			cl = exec.MissCapacity
+		case dispInvalidated:
+			cl = exec.MissSharing
+		}
+		c.stats.L1DMisses[cl]++
+	}
+	// st == Shared && write is an upgrade: not a miss, but it travels to
+	// the home tile for invalidations like one.
+
+	start := c.now
+	home := m.home(line)
+
+	// Request to the home tile.
+	t, fh := m.mesh.Traverse(c.core, home, m.cfg.CtrlPacketBits, start)
+	c.energy.FlitHops += uint64(fh)
+
+	// Home serialization: requests to the same line queue up
+	// (L2Home-Waiting).
+	ls := m.lineStat(line)
+	wait := ls.lineWait(t)
+	busy := t + wait
+	txnStart := busy
+
+	// First L2 access + directory lookup.
+	t = busy + m.cfg.L2LatencyCycles
+	c.energy.L2Accesses++
+	c.energy.DirAccesses++
+	c.stats.L2Accesses++
+
+	// Off-chip fill on L2 miss.
+	var offchip uint64
+	if m.l2[home].Lookup(m.l2Index(line)) == cache.Invalid {
+		c.stats.L2Misses++
+		t2 := c.fillFromDRAM(line, home, t)
+		offchip = t2 - t
+		t = t2
+	}
+
+	// Coherence actions (L2Home-Sharers).
+	var act coherence.Action
+	if write {
+		act = m.dir.Write(line, c.core)
+	} else {
+		act = m.dir.Read(line, c.core)
+	}
+	sharers := c.applyCoherence(line, home, act, write)
+	t += sharers
+
+	// The home transaction completes; record its occupancy for later
+	// requests to the same line.
+	ls.busy += t - txnStart
+	ls.count++
+
+	// Data reply to the requester.
+	dataBits := m.cfg.CtrlPacketBits + 8*m.cfg.LineBytes
+	t4, fh := m.mesh.Traverse(home, c.core, dataBits, t)
+	c.energy.FlitHops += uint64(fh)
+
+	// Fill the private L1.
+	grant := cache.Shared
+	if write {
+		grant = cache.Modified
+	} else if m.dir.Owner(line) == c.core {
+		grant = cache.Exclusive
+	}
+	if v, ok := m.l1[c.core].Insert(line, grant); ok {
+		m.dir.Evict(v.Line, c.core)
+		m.disp[c.core][v.Line] = dispEvicted
+		if v.State == cache.Modified {
+			c.writeBack(v.Line, c.core)
+		}
+	}
+	m.disp[c.core][line] = dispPresent
+
+	if m.cfg.NextLinePrefetch && !write {
+		c.prefetchNextLine(line)
+	}
+
+	// Attribute the stall (lax virtual time).
+	reqReply := (t4 - t) + (busy - start - wait) + m.cfg.L2LatencyCycles
+	l1l2 := reqReply
+	if m.coreIsOOO(c.core) {
+		hideL := uint64(float64(l1l2) * m.cfg.OOOHideFraction)
+		hideO := uint64(float64(offchip) * m.cfg.OOOHideFraction)
+		l1l2 -= hideL
+		offchip -= hideO
+	}
+	c.brk[exec.CompL1ToL2] += l1l2
+	c.brk[exec.CompWaiting] += wait
+	c.brk[exec.CompSharers] += sharers
+	c.brk[exec.CompOffChip] += offchip
+	c.now = start + l1l2 + wait + sharers + offchip
+}
+
+// fillFromDRAM fetches line into home's L2 slice starting at cycle t and
+// returns the completion cycle. Caller holds m.mu.
+func (c *ctx) fillFromDRAM(line uint64, home int, t uint64) uint64 {
+	m := c.m
+	mc := m.controller(line)
+	ta, fh := m.mesh.Traverse(home, m.mcTile[mc], m.cfg.CtrlPacketBits, t)
+	c.energy.FlitHops += uint64(fh)
+	done, _ := m.mcs[mc].Access(ta, m.cfg.LineBytes)
+	c.energy.DRAMAccesses++
+	tb, fh := m.mesh.Traverse(m.mcTile[mc], home, m.cfg.CtrlPacketBits+8*m.cfg.LineBytes, done)
+	c.energy.FlitHops += uint64(fh)
+	if v, ok := m.l2[home].Insert(m.l2Index(line), cache.Shared); ok {
+		c.dropL2Victim(v, home)
+	}
+	return tb
+}
+
+// dropL2Victim back-invalidates private copies of an inclusively evicted
+// L2 line and writes dirty data off chip. Caller holds m.mu.
+func (c *ctx) dropL2Victim(v cache.Victim, home int) {
+	m := c.m
+	line := m.l2Unindex(v.Line, home) // tag arrays store slice-local indices
+	cores, broadcast := m.dir.DropLine(line)
+	dirty := v.State == cache.Modified
+	if broadcast {
+		for core := 0; core < m.cfg.Cores; core++ {
+			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
+				m.disp[core][line] = dispEvicted
+				if st == cache.Modified {
+					dirty = true
+				}
+			}
+		}
+	} else {
+		for _, core := range cores {
+			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
+				m.disp[core][line] = dispEvicted
+				if st == cache.Modified {
+					dirty = true
+				}
+			}
+		}
+	}
+	if dirty {
+		// Off-critical-path write-back: consumes controller bandwidth
+		// and energy but stalls nobody.
+		mc := m.controller(line)
+		m.mcs[mc].Access(c.now, m.cfg.LineBytes)
+		m.extra.DRAMAccesses++
+		m.extra.FlitHops += uint64(m.mesh.Hops(home, m.mcTile[mc]) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+	}
+}
+
+// writeBack models an L1 dirty-victim write-back to the home L2 slice:
+// bandwidth and energy only, off the critical path. Caller holds m.mu.
+func (c *ctx) writeBack(line uint64, from int) {
+	m := c.m
+	home := m.home(line)
+	c.energy.FlitHops += uint64(m.mesh.Hops(from, home) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+	c.energy.L2Accesses++
+	m.l2[home].SetState(m.l2Index(line), cache.Modified) // L2 copy now dirty
+}
+
+// applyCoherence performs invalidations/downgrades demanded by act and
+// returns the L2Home-Sharers latency: the round trip to the farthest
+// involved sharer (invalidations proceed in parallel). Caller holds m.mu.
+func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write bool) uint64 {
+	m := c.m
+	var worst uint64
+	touch := func(core int) {
+		rt := m.mesh.RoundTrip(home, core) + m.cfg.L1LatencyCycles
+		if rt > worst {
+			worst = rt
+		}
+		flits := m.mesh.Flits(m.cfg.CtrlPacketBits)
+		c.energy.FlitHops += uint64(2 * m.mesh.Hops(home, core) * flits)
+	}
+	if act.FetchFrom >= 0 && act.FetchFrom != c.core {
+		touch(act.FetchFrom)
+		if write {
+			if st := m.l1[act.FetchFrom].Invalidate(line); st != cache.Invalid {
+				m.disp[act.FetchFrom][line] = dispInvalidated
+			}
+		} else {
+			m.l1[act.FetchFrom].SetState(line, cache.Shared)
+		}
+		if act.Dirty {
+			m.l2[home].SetState(m.l2Index(line), cache.Modified)
+			c.energy.L2Accesses++
+		}
+	}
+	for _, s := range act.Invalidate {
+		if s == c.core {
+			continue
+		}
+		touch(s)
+		if st := m.l1[s].Invalidate(line); st != cache.Invalid {
+			m.disp[s][line] = dispInvalidated
+		}
+	}
+	if act.Broadcast {
+		// Overflowed ACKWise pointers: invalidate every private copy;
+		// latency is a round trip across the mesh diameter.
+		rt := 2*uint64(m.mesh.Diameter())*m.cfg.HopCycles + m.cfg.L1LatencyCycles
+		if rt > worst {
+			worst = rt
+		}
+		flits := uint64(m.mesh.Flits(m.cfg.CtrlPacketBits))
+		for core := 0; core < m.cfg.Cores; core++ {
+			if core == c.core {
+				continue
+			}
+			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
+				m.disp[core][line] = dispInvalidated
+				c.energy.FlitHops += uint64(2*m.mesh.Hops(home, core)) * flits
+			}
+		}
+	}
+	return worst
+}
+
+// prefetchNextLine models a next-line L1 prefetcher: after a demand read
+// miss, the following line is brought into the L1 off the critical path
+// when it is already on chip and not exclusively owned elsewhere. Energy
+// is charged; no time is. Caller holds m.mu.
+func (c *ctx) prefetchNextLine(line uint64) {
+	m := c.m
+	nl := line + 1
+	if m.l1[c.core].Peek(nl) != cache.Invalid {
+		return
+	}
+	home := m.home(nl)
+	if m.l2[home].Peek(m.l2Index(nl)) == cache.Invalid {
+		return // never prefetch off chip
+	}
+	if m.dir.Owner(nl) >= 0 {
+		return // never disturb an exclusive owner
+	}
+	m.dir.Read(nl, c.core)
+	grant := cache.Shared
+	if m.dir.Owner(nl) == c.core {
+		grant = cache.Exclusive
+	}
+	if v, ok := m.l1[c.core].Insert(nl, grant); ok {
+		m.dir.Evict(v.Line, c.core)
+		m.disp[c.core][v.Line] = dispEvicted
+		if v.State == cache.Modified {
+			c.writeBack(v.Line, c.core)
+		}
+	}
+	m.disp[c.core][nl] = dispPresent
+	c.energy.L2Accesses++
+	c.energy.DirAccesses++
+	c.energy.FlitHops += uint64(m.mesh.Hops(c.core, home) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+}
+
+// remoteAccess serves a low-locality reference at the home tile without
+// allocating it in the private L1 (locality-aware coherence ablation,
+// Section VII-A).
+func (c *ctx) remoteAccess(line uint64, write bool) {
+	m := c.m
+	start := c.now
+	home := m.home(line)
+	t, fh := m.mesh.Traverse(c.core, home, m.cfg.CtrlPacketBits, start)
+	c.energy.FlitHops += uint64(fh)
+	ls := m.lineStat(line)
+	wait := ls.lineWait(t)
+	busy := t + wait
+	txnStart := busy
+	t = busy + m.cfg.L2LatencyCycles
+	c.energy.L2Accesses++
+	c.energy.DirAccesses++
+	c.stats.L2Accesses++
+	var offchip uint64
+	if m.l2[home].Lookup(m.l2Index(line)) == cache.Invalid {
+		c.stats.L2Misses++
+		t2 := c.fillFromDRAM(line, home, t)
+		offchip = t2 - t
+		t = t2
+	}
+	var act coherence.Action
+	if write {
+		act = m.dir.RemoteWrite(line)
+		m.l2[home].SetState(m.l2Index(line), cache.Modified)
+	} else {
+		act = m.dir.RemoteRead(line)
+	}
+	sharers := c.applyCoherence(line, home, act, write)
+	t += sharers
+	ls.busy += t - txnStart
+	ls.count++
+	// Word-granularity reply.
+	t4, fh := m.mesh.Traverse(home, c.core, m.cfg.CtrlPacketBits+64, t)
+	c.energy.FlitHops += uint64(fh)
+	reqReply := (t4 - t) + (busy - start - wait) + m.cfg.L2LatencyCycles
+	c.brk[exec.CompL1ToL2] += reqReply
+	c.brk[exec.CompWaiting] += wait
+	c.brk[exec.CompSharers] += sharers
+	c.brk[exec.CompOffChip] += offchip
+	c.now = start + reqReply + wait + sharers + offchip
+}
+
+// mcpTransact models one synchronization operation routed through the
+// centralized sync manager on tile 0, as Graphite's MCP does: a request
+// message, a serialized service slot, and a reply. The whole trip is
+// charged to Synchronization. When aggregate demand exceeds the MCP's
+// capacity the backlog term drains at one op per MCPServiceCycles,
+// reproducing the paper's synchronization wall for lock-heavy kernels.
+func (c *ctx) mcpTransact() {
+	m := c.m
+	// Not counted as an instruction: the lock's futex-word access is the
+	// instruction; this is the system half of the same operation.
+	start := c.now
+
+	m.mu.Lock()
+	t, fh := m.mesh.Traverse(c.core, 0, m.cfg.CtrlPacketBits, start)
+	c.energy.FlitHops += uint64(fh)
+	if t > m.mcpHorizon {
+		m.mcpHorizon = t
+	}
+	var wait uint64
+	if m.mcpBusy > m.mcpHorizon {
+		// Oversubscribed: the backlog must drain serially.
+		wait = m.mcpBusy - m.mcpHorizon
+	} else {
+		wait = noc.QueueDelay(m.mcpBusy, m.mcpHorizon, m.cfg.MCPServiceCycles)
+	}
+	m.mcpBusy += m.cfg.MCPServiceCycles
+	t += wait + m.cfg.MCPServiceCycles
+	t2, fh2 := m.mesh.Traverse(0, c.core, m.cfg.CtrlPacketBits, t)
+	c.energy.FlitHops += uint64(fh2)
+	m.mu.Unlock()
+
+	c.brk[exec.CompSync] += t2 - start
+	c.now = t2
+}
+
+// Lock implements exec.Ctx: a synchronization trip to the central sync
+// manager plus a utilization-based hand-off wait reflecting how busy
+// this particular lock is in virtual time.
+func (c *ctx) Lock(l exec.Lock) {
+	sl, ok := l.(*simLock)
+	if !ok {
+		panic("sim: foreign lock handle")
+	}
+	c.throttle()
+	c.m.nows[c.tid].Store(blockedClock)
+	sl.mu.Lock()
+	c.publish()
+	c.mcpTransact()
+	// Atomic RMW on the futex word: contended locks ping-pong their
+	// cache line exactly like the paper's "atomic locks".
+	c.access(sl.line<<c.m.lineBits, true)
+	if c.now > sl.horizon {
+		sl.horizon = c.now
+	}
+	if sl.count > 0 {
+		wait := noc.QueueDelay(sl.busy, sl.horizon, sl.busy/sl.count)
+		c.brk[exec.CompSync] += wait
+		c.now += wait
+	}
+	sl.acquiredAt = c.now
+}
+
+// Unlock implements exec.Ctx.
+func (c *ctx) Unlock(l exec.Lock) {
+	sl, ok := l.(*simLock)
+	if !ok {
+		panic("sim: foreign lock handle")
+	}
+	c.mcpTransact()
+	// Release store on the futex word.
+	c.access(sl.line<<c.m.lineBits, true)
+	if c.now > sl.acquiredAt {
+		sl.busy += c.now - sl.acquiredAt
+	}
+	sl.count++
+	sl.mu.Unlock()
+}
+
+// Barrier implements exec.Ctx: all parties reconcile to the maximum
+// arrival time plus a mesh-wide release broadcast.
+func (c *ctx) Barrier(b exec.Barrier) {
+	sb, ok := b.(*simBarrier)
+	if !ok {
+		panic("sim: foreign barrier handle")
+	}
+	c.m.nows[c.tid].Store(blockedClock)
+	sb.mu.Lock()
+	gen := sb.gen
+	if c.now > sb.maxArr {
+		sb.maxArr = c.now
+	}
+	sb.waiting++
+	if sb.waiting == sb.parties {
+		release := sb.maxArr + sb.cost
+		sb.releases[gen%2] = release
+		sb.waiting = 0
+		sb.maxArr = 0
+		sb.gen++
+		sb.mu.Unlock()
+		sb.cond.Broadcast()
+	} else {
+		for gen == sb.gen {
+			sb.cond.Wait()
+		}
+		sb.mu.Unlock()
+	}
+	release := sb.releases[gen%2]
+	if release > c.now {
+		c.brk[exec.CompSync] += release - c.now
+		c.now = release
+	}
+	c.publish()
+}
+
+// Active implements exec.Ctx telemetry: deltas are recorded against this
+// thread's virtual clock and the global active-vertex series is
+// reconstructed by prefix sum when the run completes, so the trace is
+// independent of how the host scheduler interleaved the goroutines.
+func (c *ctx) Active(delta int) {
+	if delta == 0 {
+		return
+	}
+	c.samples = append(c.samples, exec.ActiveSample{Time: c.now, Active: int64(delta)})
+}
+
+// Run implements exec.Platform. Threads map one-to-one onto cores
+// 0..threads-1; thread counts beyond the core count are rejected.
+func (m *Machine) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m.cfg.Cores {
+		panic(fmt.Sprintf("sim: %d threads exceed %d cores", threads, m.cfg.Cores))
+	}
+	ctxs := make([]*ctx, threads)
+	m.nows = make([]atomic.Uint64, threads)
+	m.winMin.Store(0)
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		ctxs[t] = &ctx{m: m, tid: t, core: m.placeThread(t, threads), threads: threads}
+		go func(c *ctx) {
+			defer wg.Done()
+			body(c)
+			// A finished thread must not hold the window back.
+			m.nows[c.tid].Store(blockedClock)
+		}(ctxs[t])
+	}
+	wg.Wait()
+
+	rep := &exec.Report{
+		Platform:     m.Name(),
+		Threads:      threads,
+		Instructions: make([]uint64, threads),
+		ThreadTime:   make([]uint64, threads),
+	}
+	var events energy.Counter
+	events.Add(m.extra)
+	var trace []exec.ActiveSample
+	for t, c := range ctxs {
+		if c.now > rep.Time {
+			rep.Time = c.now
+		}
+		rep.Breakdown.Add(c.brk)
+		rep.Instructions[t] = c.instr
+		rep.ThreadTime[t] = c.now
+		events.Add(c.energy)
+		rep.Cache.L1DAccesses += c.stats.L1DAccesses
+		for i := range c.stats.L1DMisses {
+			rep.Cache.L1DMisses[i] += c.stats.L1DMisses[i]
+		}
+		rep.Cache.L2Accesses += c.stats.L2Accesses
+		rep.Cache.L2Misses += c.stats.L2Misses
+		trace = append(trace, c.samples...)
+	}
+	rep.ActiveTrace = reconstructTrace(trace, activeTracePoints)
+	rep.Energy = m.cfg.Energy.Breakdown(events)
+	rep.NetworkFlitHops = events.FlitHops
+	m.extra = energy.Counter{}
+	return rep
+}
+
+// reconstructTrace merges per-thread delta samples by virtual time,
+// prefix-sums them into the global active-vertex gauge and downsamples to
+// at most maxPoints entries.
+func reconstructTrace(deltas []exec.ActiveSample, maxPoints int) []exec.ActiveSample {
+	if len(deltas) == 0 {
+		return nil
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Time < deltas[j].Time })
+	var run int64
+	for i := range deltas {
+		run += deltas[i].Active
+		deltas[i].Active = run
+	}
+	if len(deltas) <= maxPoints {
+		return deltas
+	}
+	step := (len(deltas) + maxPoints - 1) / maxPoints
+	out := deltas[:0]
+	for i := 0; i < len(deltas); i += step {
+		out = append(out, deltas[i])
+	}
+	return out
+}
+
+// DebugMesh exposes NoC contention counters for diagnostics: total
+// queueing delay charged, the busiest link's cumulative flit-cycles, and
+// that link's index (tile*4 + direction).
+func (m *Machine) DebugMesh() (queuedCycles, busiestBusy uint64, busiestLink int) {
+	return m.mesh.DebugStats()
+}
