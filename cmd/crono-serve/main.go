@@ -1,0 +1,97 @@
+// Command crono-serve runs the CRONO graph-analytics service: a JSON API
+// that loads graphs into an in-memory store and executes any suite kernel
+// on the native platform or the futuristic-multicore simulator, with a
+// bounded worker pool, an LRU result cache with request coalescing, and
+// Prometheus-text metrics.
+//
+// Usage:
+//
+//	crono-serve -addr :8080 -workers 4 -queue 64
+//
+// Quick start:
+//
+//	curl -s localhost:8080/v1/graphs -d '{"kind":"sparse","n":65536,"seed":42}'
+//	curl -s localhost:8080/v1/run -d '{"graph":"<id>","kernel":"BFS","threads":8}'
+//	curl -s localhost:8080/metrics
+//
+// The server drains in-flight requests on SIGINT/SIGTERM, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crono/internal/service"
+)
+
+func main() {
+	cfg := service.DefaultConfig()
+	var drain time.Duration
+	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "kernel worker pool size")
+	flag.IntVar(&cfg.QueueLen, "queue", cfg.QueueLen, "worker queue bound (beyond it requests shed with 429)")
+	flag.IntVar(&cfg.CacheEntries, "cache", cfg.CacheEntries, "result cache capacity (entries)")
+	flag.IntVar(&cfg.MaxGraphs, "max-graphs", cfg.MaxGraphs, "graph store capacity")
+	flag.IntVar(&cfg.MaxVertices, "max-vertices", cfg.MaxVertices, "largest accepted graph")
+	flag.IntVar(&cfg.SimCores, "sim-cores", cfg.SimCores, "default simulated core count (perfect square)")
+	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
+	flag.DurationVar(&drain, "drain-timeout", 15*time.Second, "shutdown drain bound")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, drain, func(addr string) {
+		log.Printf("crono-serve listening on %s", addr)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "crono-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then shuts down gracefully: the
+// listener closes, in-flight requests drain (bounded by drainTimeout), and
+// the worker pool finishes queued kernels. ready is called with the bound
+// address once the listener is up (tests listen on :0).
+func run(ctx context.Context, cfg service.Config, drainTimeout time.Duration, ready func(addr string)) error {
+	svc := service.New(cfg)
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

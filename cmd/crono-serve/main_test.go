@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"crono/internal/service"
+)
+
+// TestRunServesAndShutsDownGracefully boots the server on an ephemeral
+// port, exercises the API, then cancels the context (the signal path) and
+// verifies run drains and returns cleanly.
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	cfg := service.DefaultConfig()
+	cfg.Addr = "127.0.0.1:0"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, 5*time.Second, func(addr string) { addrc <- addr })
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	// One full request cycle through the worker pool before shutdown.
+	body, _ := json.Marshal(map[string]any{"kind": "sparse", "n": 256, "seed": 1})
+	resp, err = http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/graphs: %v", err)
+	}
+	var gr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		t.Fatalf("decode graph: %v", err)
+	}
+	resp.Body.Close()
+	body, _ = json.Marshal(map[string]any{"graph": gr.ID, "kernel": "BFS", "threads": 2})
+	resp, err = http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run status %d: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+
+	// The listener must actually be gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"crono/internal/graph"
 	"crono/internal/harness"
 	"crono/internal/native"
+	"crono/internal/service"
 	"crono/internal/sim"
 )
 
@@ -235,6 +236,23 @@ func PageRankPull(pl Platform, g *Graph, threads, iters int) (*PageRankResult, e
 
 // Modularity evaluates Newman modularity of a community assignment.
 func Modularity(g *Graph, community []int32) float64 { return core.Modularity(g, community) }
+
+// Server is the graph-analytics HTTP service: a sharded graph store, a
+// bounded kernel worker pool with load shedding, an LRU result cache with
+// in-flight coalescing, and Prometheus-text metrics. Mount Handler() on an
+// http.Server; cmd/crono-serve is the ready-made binary.
+type Server = service.Server
+
+// ServeConfig parametrizes the service (worker pool, queue bound, cache
+// and store capacities, deadlines).
+type ServeConfig = service.Config
+
+// DefaultServeConfig returns production-leaning service defaults.
+func DefaultServeConfig() ServeConfig { return service.DefaultConfig() }
+
+// NewServer builds the graph-analytics service from cfg; zero-valued
+// fields are defaulted.
+func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
 
 // Experiment regenerates one of the paper's tables or figures.
 type Experiment = harness.Experiment

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprintInsertionOrderInvariant verifies the fingerprint is a
+// property of the logical graph, not of the order edges were inserted:
+// FromEdges canonicalizes, so every permutation of the same edge list must
+// produce the same fingerprint.
+func TestFingerprintInsertionOrderInvariant(t *testing.T) {
+	edges := []Edge{
+		{0, 1, 5}, {1, 2, 3}, {2, 3, 7}, {3, 0, 2},
+		{0, 2, 9}, {1, 3, 4}, {2, 0, 1},
+	}
+	base := FromEdges(4, edges, true)
+	want := base.Fingerprint()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := make([]Edge, len(edges))
+		copy(perm, edges)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		g := FromEdges(4, perm, true)
+		if got := g.Fingerprint(); got != want {
+			t.Fatalf("trial %d: permuted insertion order changed fingerprint: %#x != %#x", trial, got, want)
+		}
+	}
+}
+
+// TestFingerprintDiscriminates verifies that structural changes move the
+// fingerprint: a different weight, a different edge, a different vertex
+// count, and an extra isolated vertex must all be detected.
+func TestFingerprintDiscriminates(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {1, 2, 3}, {2, 0, 7}}
+	base := FromEdges(3, edges, true).Fingerprint()
+
+	weight := []Edge{{0, 1, 6}, {1, 2, 3}, {2, 0, 7}}
+	if got := FromEdges(3, weight, true).Fingerprint(); got == base {
+		t.Errorf("weight change not detected: fingerprint %#x unchanged", got)
+	}
+
+	rewired := []Edge{{0, 1, 5}, {1, 2, 3}, {2, 1, 7}}
+	if got := FromEdges(3, rewired, true).Fingerprint(); got == base {
+		t.Errorf("edge rewire not detected: fingerprint %#x unchanged", got)
+	}
+
+	if got := FromEdges(4, edges, true).Fingerprint(); got == base {
+		t.Errorf("extra isolated vertex not detected: fingerprint %#x unchanged", got)
+	}
+}
+
+func TestFingerprintDeterministicAcrossGenerators(t *testing.T) {
+	a := Generate(KindSparse, 1024, 42)
+	b := Generate(KindSparse, 1024, 42)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same generator parameters produced different fingerprints")
+	}
+	c := Generate(KindSparse, 1024, 43)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+}
+
+func TestFingerprintEmptyGraph(t *testing.T) {
+	g := FromEdges(0, nil, false)
+	h := FromEdges(1, nil, false)
+	if g.Fingerprint() == h.Fingerprint() {
+		t.Fatal("empty and single-vertex graphs share a fingerprint")
+	}
+}

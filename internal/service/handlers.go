@@ -1,0 +1,434 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/native"
+	"crono/internal/sim"
+)
+
+// ---- wire types ----
+
+// graphRequest creates a graph: either a generated family (kind/n/seed) or
+// an uploaded file (format/data).
+type graphRequest struct {
+	// Generated inputs (Table III families).
+	Kind string `json:"kind,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Uploaded inputs: format is "snap", "mtx" or "metis"; data is the
+	// file content.
+	Format string `json:"format,omitempty"`
+	Data   string `json:"data,omitempty"`
+}
+
+// graphResponse describes a resident graph.
+type graphResponse struct {
+	ID          string  `json:"id"`
+	Fingerprint string  `json:"fingerprint"`
+	Desc        string  `json:"desc"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	AvgDegree   float64 `json:"avgDegree"`
+	MaxDegree   int     `json:"maxDegree"`
+}
+
+// runRequest executes one kernel.
+type runRequest struct {
+	// Graph is the stored graph ID (unused by TSP).
+	Graph string `json:"graph,omitempty"`
+	// Kernel is the paper identifier, e.g. "BFS" or "SSSP_DIJK".
+	Kernel string `json:"kernel"`
+	// Platform is "native" (default) or "sim".
+	Platform string `json:"platform,omitempty"`
+	Threads  int    `json:"threads,omitempty"`
+	// Source is the start vertex of SSSP/BFS/DFS.
+	Source int `json:"source,omitempty"`
+	// Cities and Seed parametrize TSP, which takes no graph.
+	Cities int   `json:"cities,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	// SimCores overrides the simulated tile count (perfect square).
+	SimCores int `json:"simCores,omitempty"`
+	// OutOfOrder selects the out-of-order core model on sim.
+	OutOfOrder bool `json:"outOfOrder,omitempty"`
+	// TimeoutMS bounds this request; 0 means the server default.
+	TimeoutMS int `json:"timeoutMs,omitempty"`
+}
+
+// runResponse reports one kernel execution (or cached result).
+type runResponse struct {
+	Kernel   string `json:"kernel"`
+	Platform string `json:"platform"`
+	Threads  int    `json:"threads"`
+	// Cached is true when the result came from the LRU or an in-flight
+	// coalesced computation rather than a fresh kernel execution.
+	Cached bool `json:"cached"`
+	// TimeUnit is "cycles" on sim, "ns" on native.
+	TimeUnit          string            `json:"timeUnit"`
+	Time              uint64            `json:"time"`
+	TotalInstructions uint64            `json:"totalInstructions"`
+	Variability       float64           `json:"variability"`
+	Breakdown         map[string]uint64 `json:"breakdown"`
+	// WallSeconds is the service-side execution latency of the kernel.
+	WallSeconds float64        `json:"wallSeconds"`
+	Sim         *simRunDetails `json:"sim,omitempty"`
+}
+
+// simRunDetails carries simulator-only statistics.
+type simRunDetails struct {
+	L1DMissRatePct       float64            `json:"l1dMissRatePct"`
+	HierarchyMissRatePct float64            `json:"hierarchyMissRatePct"`
+	EnergyPJ             map[string]float64 `json:"energyPJ"`
+	NetworkFlitHops      uint64             `json:"networkFlitHops"`
+}
+
+type kernelInfo struct {
+	Name            string `json:"name"`
+	Parallelization string `json:"parallelization"`
+	Input           string `json:"input"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+func graphToResponse(sg *StoredGraph) graphResponse {
+	g := sg.Graph
+	return graphResponse{
+		ID:          sg.ID,
+		Fingerprint: fmt.Sprintf("%016x", sg.Fingerprint),
+		Desc:        sg.Desc,
+		N:           g.N,
+		M:           g.M(),
+		AvgDegree:   g.AvgDegree(),
+		MaxDegree:   g.MaxDegree(),
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var (
+		g    *graph.CSR
+		desc string
+		err  error
+	)
+	switch {
+	case req.Format != "" && req.Kind != "":
+		writeError(w, http.StatusBadRequest, "specify either kind (generate) or format (upload), not both")
+		return
+	case req.Format != "":
+		rd := strings.NewReader(req.Data)
+		switch req.Format {
+		case "snap":
+			g, err = graph.ReadEdgeList(rd)
+		case "mtx":
+			g, err = graph.ReadMatrixMarket(rd)
+		case "metis":
+			g, err = graph.ReadMETIS(rd)
+		default:
+			writeError(w, http.StatusBadRequest, "unknown format %q (want snap, mtx or metis)", req.Format)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse %s input: %v", req.Format, err)
+			return
+		}
+		desc = "uploaded:" + req.Format
+	case req.Kind != "":
+		known := false
+		for _, k := range graph.Kinds {
+			if graph.Kind(req.Kind) == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			writeError(w, http.StatusBadRequest, "unknown graph kind %q", req.Kind)
+			return
+		}
+		if req.N < 2 || req.N > s.cfg.MaxVertices {
+			writeError(w, http.StatusBadRequest, "n %d out of range [2, %d]", req.N, s.cfg.MaxVertices)
+			return
+		}
+		g = graph.Generate(graph.Kind(req.Kind), req.N, req.Seed)
+		desc = "generated:" + req.Kind
+	default:
+		writeError(w, http.StatusBadRequest, "specify kind (generate) or format (upload)")
+		return
+	}
+	if g.N == 0 {
+		writeError(w, http.StatusBadRequest, "graph has no vertices")
+		return
+	}
+	if g.N > s.cfg.MaxVertices {
+		writeError(w, http.StatusRequestEntityTooLarge, "graph has %d vertices, limit %d", g.N, s.cfg.MaxVertices)
+		return
+	}
+	sg, err := s.store.Put(g, desc)
+	if err != nil {
+		writeError(w, http.StatusInsufficientStorage, "%v (limit %d graphs)", err, s.cfg.MaxGraphs)
+		return
+	}
+	writeJSON(w, http.StatusCreated, graphToResponse(sg))
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, graphToResponse(sg))
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	suite := core.Suite()
+	out := make([]kernelInfo, len(suite))
+	for i, b := range suite {
+		input := "csr"
+		switch {
+		case b.UsesMatrix:
+			input = "dense"
+		case b.UsesCities:
+			input = "cities"
+		}
+		out[i] = kernelInfo{Name: b.Name, Parallelization: b.Parallelization, Input: input}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	bench, err := core.ByName(req.Kernel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Platform == "" {
+		req.Platform = "native"
+	}
+	if req.Platform != "native" && req.Platform != "sim" {
+		writeError(w, http.StatusBadRequest, "unknown platform %q (want native or sim)", req.Platform)
+		return
+	}
+	if req.Threads == 0 {
+		req.Threads = 8
+	}
+	if req.Threads < 1 || req.Threads > s.cfg.MaxThreads {
+		writeError(w, http.StatusBadRequest, "threads %d out of range [1, %d]", req.Threads, s.cfg.MaxThreads)
+		return
+	}
+	if req.SimCores == 0 {
+		req.SimCores = s.cfg.SimCores
+	}
+	if req.Platform == "sim" && req.Threads > req.SimCores {
+		writeError(w, http.StatusBadRequest, "threads %d exceed %d simulated cores", req.Threads, req.SimCores)
+		return
+	}
+
+	// Resolve the kernel input and the graph component of the cache key.
+	in := core.Input{Source: req.Source}
+	var inputKey string
+	switch {
+	case bench.UsesCities:
+		if req.Cities < 3 || req.Cities > 20 {
+			writeError(w, http.StatusBadRequest, "cities %d out of range [3, 20] for TSP", req.Cities)
+			return
+		}
+		in.Cities = graph.Cities(req.Cities, req.Seed)
+		inputKey = fmt.Sprintf("tsp:n=%d:seed=%d", req.Cities, req.Seed)
+	default:
+		sg, ok := s.store.Get(req.Graph)
+		if !ok {
+			writeError(w, http.StatusNotFound, "graph %q not found (POST /v1/graphs first)", req.Graph)
+			return
+		}
+		if req.Source < 0 || req.Source >= sg.Graph.N {
+			writeError(w, http.StatusBadRequest, "source %d out of range [0, %d)", req.Source, sg.Graph.N)
+			return
+		}
+		if bench.UsesMatrix {
+			if sg.Graph.N > s.cfg.MaxDenseVertices {
+				writeError(w, http.StatusUnprocessableEntity,
+					"%s needs a dense O(N²) matrix; graph has %d vertices, limit %d",
+					bench.Name, sg.Graph.N, s.cfg.MaxDenseVertices)
+				return
+			}
+			in.D = sg.Dense()
+		} else {
+			in.G = sg.Graph
+		}
+		inputKey = sg.ID
+	}
+
+	key := fmt.Sprintf("run|%s|%s|%s|t=%d|src=%d|cores=%d|ooo=%t",
+		inputKey, bench.Name, req.Platform, req.Threads, req.Source, req.SimCores, req.OutOfOrder)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	val, started, err := s.cache.Do(ctx, key, func() (any, error) {
+		return s.execute(ctx, bench, in, &req)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSaturated):
+			s.m.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "worker pool saturated, retry later")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "run exceeded %s deadline", timeout)
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		case errors.Is(err, ErrPoolClosed):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	resp := *val.(*runResponse) // copy so Cached can differ per caller
+	resp.Cached = !started
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// execute builds the platform, runs the kernel on the worker pool and
+// shapes the response. It is called exactly once per cache key by
+// Cache.Do; concurrent identical requests coalesce onto its result.
+func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Input, req *runRequest) (any, error) {
+	var pl exec.Platform
+	switch req.Platform {
+	case "native":
+		pl = native.New()
+	case "sim":
+		cfg := sim.Default()
+		cfg.Cores = req.SimCores
+		if req.OutOfOrder {
+			cfg.CoreType = sim.OutOfOrder
+		}
+		m, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim config: %w", err)
+		}
+		pl = m
+	}
+
+	var (
+		rep    *exec.Report
+		runErr error
+		wall   time.Duration
+		done   = make(chan struct{})
+	)
+	if err := s.pool.Submit(ctx, func() {
+		defer close(done)
+		start := time.Now()
+		rep, runErr = bench.Run(pl, in, req.Threads)
+		wall = time.Since(start)
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// The kernel (if already running) completes on the worker and is
+		// discarded; the queue slot frees itself.
+		return nil, ctx.Err()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	s.m.runs(bench.Name).Inc()
+	s.m.latency(bench.Name, req.Platform).Observe(wall.Seconds())
+
+	resp := &runResponse{
+		Kernel:            bench.Name,
+		Platform:          rep.Platform,
+		Threads:           rep.Threads,
+		TimeUnit:          "ns",
+		Time:              rep.Time,
+		TotalInstructions: rep.TotalInstructions(),
+		Variability:       rep.Variability(),
+		Breakdown:         make(map[string]uint64, exec.NumComponents),
+		WallSeconds:       wall.Seconds(),
+	}
+	for c := exec.CompCompute; c < exec.NumComponents; c++ {
+		resp.Breakdown[c.String()] = rep.Breakdown[c]
+	}
+	if rep.Platform == "sim" {
+		resp.TimeUnit = "cycles"
+		energy := make(map[string]float64, exec.NumEnergyComponents)
+		for c := exec.EnergyL1I; c < exec.NumEnergyComponents; c++ {
+			energy[c.String()] = rep.Energy[c]
+		}
+		resp.Sim = &simRunDetails{
+			L1DMissRatePct:       rep.Cache.L1MissRate(),
+			HierarchyMissRatePct: rep.Cache.HierarchyMissRate(),
+			EnergyPJ:             energy,
+			NetworkFlitHops:      rep.NetworkFlitHops,
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, stdlib-only metrics registry exporting the
+// Prometheus text exposition format (version 0.0.4). It supports exactly
+// what the serving layer needs: counters, callback gauges and fixed-bucket
+// latency histograms, each optionally labeled, grouped into families so
+// every family renders one # HELP / # TYPE header.
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram of float64 observations.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending, excluding +Inf
+	buckets []uint64  // len(bounds)+1; last is the +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DefaultLatencyBuckets spans 100µs to ~100s in roughly 3x steps, wide
+// enough for both native microsecond kernels and multi-second sim runs.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
+}
+
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	ctr    *Counter
+	gauge  func() float64
+	hist   *Histogram
+}
+
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          map[string]*series
+	order           []string
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("service: metric %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label, mk func() *series) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter with the given name and labels, creating the
+// series (and family) on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, "counter")
+	return f.get(labels, func() *series { return &series{ctr: &Counter{}} }).ctr
+}
+
+// GaugeFunc registers a callback gauge evaluated at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, "gauge")
+	f.get(labels, func() *series { return &series{gauge: fn} })
+}
+
+// Histogram returns the histogram with the given name, buckets and labels,
+// creating the series on first use. Buckets apply on creation only.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	f := r.family(name, help, "histogram")
+	return f.get(labels, func() *series {
+		b := make([]float64, len(buckets))
+		copy(b, buckets)
+		sort.Float64s(b)
+		return &series{hist: &Histogram{bounds: b, buckets: make([]uint64, len(b)+1)}}
+	}).hist
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// mergeLabels renders a label set with one extra pair appended (for
+// histogram le labels).
+func mergeLabels(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv64(v)
+}
+
+func strconv64(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTo renders every family in registration order as Prometheus text
+// exposition format 0.0.4.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch {
+			case s.ctr != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.ctr.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge()))
+			case s.hist != nil:
+				h := s.hist
+				h.mu.Lock()
+				var cum uint64
+				for i, ub := range h.bounds {
+					cum += h.buckets[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(s.labels, "le", formatFloat(ub)), cum)
+				}
+				cum += h.buckets[len(h.bounds)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, h.count)
+				h.mu.Unlock()
+			}
+		}
+		f.mu.Unlock()
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

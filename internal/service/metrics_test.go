@@ -1,0 +1,115 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestRegistryCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter.")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	r.GaugeFunc("test_depth", "a gauge.", func() float64 { return 7 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_total a counter.",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryLabeledSeriesShareFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests.", Label{"path", "/a"}, Label{"code", "200"}).Inc()
+	r.Counter("req_total", "requests.", Label{"path", "/b"}, Label{"code", "404"}).Add(2)
+	// Same labels must return the same series.
+	r.Counter("req_total", "requests.", Label{"path", "/a"}, Label{"code", "200"}).Inc()
+
+	out := render(t, r)
+	if strings.Count(out, "# TYPE req_total counter") != 1 {
+		t.Errorf("family header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{path="/a",code="200"} 2`) {
+		t.Errorf("missing series a:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{path="/b",code="404"} 2`) {
+		t.Errorf("missing series b:\n%s", out)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escapes.", Label{"v", "a\"b\\c\nd"}).Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped per exposition format:\n%s", out)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency.", []float64{0.1, 1, 10}, Label{"kernel", "BFS"})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{kernel="BFS",le="0.1"} 1`,
+		`lat_seconds_bucket{kernel="BFS",le="1"} 3`,
+		`lat_seconds_bucket{kernel="BFS",le="10"} 4`,
+		`lat_seconds_bucket{kernel="BFS",le="+Inf"} 5`,
+		`lat_seconds_sum{kernel="BFS"} 56.05`,
+		`lat_seconds_count{kernel="BFS"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("conc_total", "c.").Inc()
+				r.Histogram("conc_seconds", "h.", DefaultLatencyBuckets).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c.").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	if got := r.Histogram("conc_seconds", "h.", DefaultLatencyBuckets).Count(); got != 800 {
+		t.Fatalf("histogram count = %d, want 800", got)
+	}
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Pool.Submit when the queue is full; the HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After header.
+var ErrSaturated = errors.New("service: worker pool saturated")
+
+// ErrPoolClosed is returned by Pool.Submit after Close.
+var ErrPoolClosed = errors.New("service: worker pool closed")
+
+type task struct {
+	ctx context.Context
+	run func()
+}
+
+// Pool is a bounded worker pool: a fixed number of worker goroutines
+// consuming a fixed-length queue. Submission never blocks — when the queue
+// is full the caller is shed immediately, which keeps tail latency bounded
+// under overload instead of letting a deep queue build.
+type Pool struct {
+	mu     sync.Mutex
+	queue  chan task
+	closed bool
+	wg     sync.WaitGroup
+	depth  atomic.Int64 // queued + running tasks
+}
+
+// NewPool starts workers goroutines with a queue of queueLen pending tasks
+// (0 means tasks only admit when a worker is idle... a worker still has to
+// pull them, so a queue of 0 is sharpened to 1).
+func NewPool(workers, queueLen int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	p := &Pool{queue: make(chan task, queueLen)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		// A task whose request already gave up (deadline or client
+		// disconnect) is dropped without running; the submitter waits on
+		// its own ctx, so nothing blocks on the skipped task.
+		if t.ctx.Err() == nil {
+			t.run()
+		}
+		p.depth.Add(-1)
+	}
+}
+
+// Submit enqueues fn, returning ErrSaturated without blocking when the
+// queue is full. fn runs on a worker goroutine unless ctx expires while the
+// task is still queued, in which case it is dropped (the submitter is
+// expected to also wait on ctx and has already gone away).
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- task{ctx: ctx, run: fn}:
+		p.depth.Add(1)
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// Depth returns the number of tasks queued or running.
+func (p *Pool) Depth() int64 { return p.depth.Load() }
+
+// Close stops accepting work and blocks until queued tasks drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 16)
+	defer p.Close()
+	var ran atomic.Int64
+	done := make(chan struct{}, 32)
+	for i := 0; i < 32; i++ {
+		for {
+			err := p.Submit(context.Background(), func() {
+				ran.Add(1)
+				done <- struct{}{}
+			})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatalf("Submit: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		<-done
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d tasks, want 32", ran.Load())
+	}
+}
+
+// TestPoolLoadSheds verifies Submit fails fast with ErrSaturated once one
+// task occupies the single worker and another fills the queue.
+func TestPoolLoadSheds(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(started); <-release }); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	<-started // worker busy; queue empty again
+	if err := p.Submit(context.Background(), func() { <-release }); err != nil {
+		t.Fatalf("second Submit (queued): %v", err)
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third Submit = %v, want ErrSaturated", err)
+	}
+	if d := p.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	close(release)
+}
+
+// TestPoolSkipsExpiredTasks verifies a queued task whose context expired is
+// dropped, not executed.
+func TestPoolSkipsExpiredTasks(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(started); <-release }); err != nil {
+		t.Fatalf("blocker Submit: %v", err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	if err := p.Submit(ctx, func() { ran.Store(true) }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	cancel() // expires while still queued
+	close(release)
+	p.Close() // drains the queue
+	if ran.Load() {
+		t.Fatal("task with expired context was executed")
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package service is the concurrent HTTP serving layer in front of the
+// CRONO kernels: a stdlib-only JSON API that loads graphs into a sharded
+// in-memory store, executes any suite kernel on the native platform or the
+// futuristic-multicore simulator through a bounded worker pool, caches
+// results in an LRU keyed by graph fingerprint + kernel + params (with
+// in-flight coalescing), and exports Prometheus-text metrics.
+//
+// Request flow:
+//
+//	handler → store (resolve graph) → cache.Do (hit / coalesce)
+//	        → pool.Submit (bounded, load-shedding) → kernel → report
+//
+// Overload degrades predictably: a full queue sheds with 429 + Retry-After
+// rather than queueing unboundedly, and every request carries a deadline.
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config parametrizes a Server. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Addr is the listen address of cmd/crono-serve (the library Server
+	// itself only builds an http.Handler).
+	Addr string
+	// Workers is the kernel worker-pool size.
+	Workers int
+	// QueueLen is the worker-pool queue bound; beyond it requests shed
+	// with 429.
+	QueueLen int
+	// CacheEntries bounds the LRU result cache.
+	CacheEntries int
+	// MaxGraphs bounds the graph store.
+	MaxGraphs int
+	// MaxVertices bounds generated and uploaded graph sizes.
+	MaxVertices int
+	// MaxDenseVertices bounds graphs admitted to the O(N²) dense kernels
+	// (APSP, BETW_CENT).
+	MaxDenseVertices int
+	// MaxBodyBytes bounds request bodies (graph uploads dominate).
+	MaxBodyBytes int64
+	// MaxThreads bounds the per-request thread count.
+	MaxThreads int
+	// DefaultTimeout applies when a run request carries no timeoutMs.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts.
+	MaxTimeout time.Duration
+	// SimCores is the simulated tile count when a run request does not
+	// specify one (must be a perfect square; 64 keeps sim latency low,
+	// the paper's 256 is available per request).
+	SimCores int
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:             ":8080",
+		Workers:          4,
+		QueueLen:         64,
+		CacheEntries:     256,
+		MaxGraphs:        64,
+		MaxVertices:      1 << 22,
+		MaxDenseVertices: 2048,
+		MaxBodyBytes:     64 << 20,
+		MaxThreads:       256,
+		DefaultTimeout:   30 * time.Second,
+		MaxTimeout:       5 * time.Minute,
+		SimCores:         64,
+	}
+}
+
+func (c *Config) sanitize() {
+	d := DefaultConfig()
+	if c.Workers < 1 {
+		c.Workers = d.Workers
+	}
+	if c.QueueLen < 1 {
+		c.QueueLen = d.QueueLen
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.MaxGraphs < 1 {
+		c.MaxGraphs = d.MaxGraphs
+	}
+	if c.MaxVertices < 2 {
+		c.MaxVertices = d.MaxVertices
+	}
+	if c.MaxDenseVertices < 2 {
+		c.MaxDenseVertices = d.MaxDenseVertices
+	}
+	if c.MaxBodyBytes < 1 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MaxThreads < 1 {
+		c.MaxThreads = d.MaxThreads
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = d.DefaultTimeout
+	}
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.SimCores < 1 {
+		c.SimCores = d.SimCores
+	}
+}
+
+// serverMetrics bundles every registered instrument.
+type serverMetrics struct {
+	reg       *Registry
+	requests  func(path string, code int) *Counter
+	shed      *Counter
+	runs      func(kernel string) *Counter
+	latency   func(kernel, platform string) *Histogram
+	cacheHit  *Counter
+	cacheMiss *Counter
+	coalesced *Counter
+}
+
+// Server is the graph-analytics service. Build one with New, mount
+// Handler on an http.Server, and Close it on shutdown to drain workers.
+type Server struct {
+	cfg   Config
+	store *Store
+	pool  *Pool
+	cache *Cache
+	m     *serverMetrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server from cfg (zero fields are defaulted).
+func New(cfg Config) *Server {
+	cfg.sanitize()
+	s := &Server{
+		cfg:   cfg,
+		store: NewStore(cfg.MaxGraphs),
+		pool:  NewPool(cfg.Workers, cfg.QueueLen),
+		cache: NewCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+	}
+	s.m = s.newMetrics()
+	s.cache.SetCounters(s.m.cacheHit, s.m.cacheMiss, s.m.coalesced)
+	s.routes()
+	return s
+}
+
+func (s *Server) newMetrics() *serverMetrics {
+	reg := NewRegistry()
+	m := &serverMetrics{reg: reg}
+	m.requests = func(path string, code int) *Counter {
+		return reg.Counter("crono_http_requests_total",
+			"HTTP requests by route and status code.",
+			Label{"path", path}, Label{"code", strconv.Itoa(code)})
+	}
+	m.shed = reg.Counter("crono_load_shed_total",
+		"Run requests rejected with 429 because the worker pool was saturated.")
+	m.runs = func(kernel string) *Counter {
+		return reg.Counter("crono_kernel_runs_total",
+			"Kernel executions (cache misses that reached a worker).",
+			Label{"kernel", kernel})
+	}
+	m.latency = func(kernel, platform string) *Histogram {
+		return reg.Histogram("crono_run_duration_seconds",
+			"Wall-clock kernel execution latency.",
+			DefaultLatencyBuckets,
+			Label{"kernel", kernel}, Label{"platform", platform})
+	}
+	m.cacheHit = reg.Counter("crono_cache_hits_total",
+		"Run requests served from the result cache.")
+	m.cacheMiss = reg.Counter("crono_cache_misses_total",
+		"Run requests that started a kernel computation.")
+	m.coalesced = reg.Counter("crono_cache_coalesced_total",
+		"Run requests that piggybacked on an identical in-flight computation.")
+	reg.GaugeFunc("crono_queue_depth",
+		"Kernel tasks queued or running in the worker pool.",
+		func() float64 { return float64(s.pool.Depth()) })
+	reg.GaugeFunc("crono_graphs_resident",
+		"Graphs resident in the store.",
+		func() float64 { return float64(s.store.Len()) })
+	reg.GaugeFunc("crono_cache_entries",
+		"Completed results resident in the LRU cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	return m
+}
+
+func (s *Server) routes() {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/graphs", "/v1/graphs", s.handleGraphCreate)
+	handle("GET /v1/graphs/{id}", "/v1/graphs/{id}", s.handleGraphGet)
+	handle("POST /v1/run", "/v1/run", s.handleRun)
+	handle("GET /v1/kernels", "/v1/kernels", s.handleKernels)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool. In-flight kernels finish; new submissions
+// fail with ErrPoolClosed.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics exposes the registry (cmd/crono-serve adds process gauges).
+func (s *Server) Metrics() *Registry { return s.m.reg }
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, req)
+		s.m.requests(route, rec.code).Inc()
+	})
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crono/internal/graph"
+)
+
+// ErrStoreFull is returned by Store.Put when the graph budget is exhausted.
+var ErrStoreFull = errors.New("service: graph store full")
+
+// storeShards is the shard count of the graph store. Sharding keeps Put
+// and Get contention-free across concurrent loads: IDs are content hashes,
+// so they spread uniformly.
+const storeShards = 16
+
+// StoredGraph is one resident graph plus its lazily derived forms.
+type StoredGraph struct {
+	// ID is the content-addressed identifier: "g" + 16 hex digits of the
+	// CSR fingerprint. Loading the same logical graph twice yields the
+	// same ID (the store deduplicates).
+	ID string
+	// Desc records provenance, e.g. "generated:sparse" or "uploaded:snap".
+	Desc string
+	// Graph is the CSR form every sparse kernel consumes.
+	Graph *graph.CSR
+	// Fingerprint is Graph.Fingerprint(), the service cache-key component.
+	Fingerprint uint64
+
+	denseOnce sync.Once
+	dense     *graph.Dense
+}
+
+// Dense returns the adjacency-matrix form (APSP/BETW_CENT input), derived
+// on first use and memoized. Callers must gate on vertex count: the matrix
+// is O(N²).
+func (sg *StoredGraph) Dense() *graph.Dense {
+	sg.denseOnce.Do(func() { sg.dense = graph.DenseFromCSR(sg.Graph) })
+	return sg.dense
+}
+
+type storeShard struct {
+	mu     sync.RWMutex
+	graphs map[string]*StoredGraph
+}
+
+// Store is a sharded in-memory graph store addressed by content
+// fingerprint.
+type Store struct {
+	maxGraphs int
+	count     atomic.Int64
+	shards    [storeShards]storeShard
+}
+
+// NewStore returns a store admitting at most maxGraphs distinct graphs
+// (<=0 means 64).
+func NewStore(maxGraphs int) *Store {
+	if maxGraphs <= 0 {
+		maxGraphs = 64
+	}
+	s := &Store{maxGraphs: maxGraphs}
+	for i := range s.shards {
+		s.shards[i].graphs = make(map[string]*StoredGraph)
+	}
+	return s
+}
+
+// GraphID renders the content-addressed ID for a fingerprint.
+func GraphID(fp uint64) string { return fmt.Sprintf("g%016x", fp) }
+
+func (s *Store) shard(id string) *storeShard {
+	var h uint32
+	for i := 0; i < len(id); i++ {
+		h = h*31 + uint32(id[i])
+	}
+	return &s.shards[h%storeShards]
+}
+
+// Put stores g under its fingerprint ID and returns the resident entry.
+// Storing an already-present graph is a no-op returning the existing
+// entry, so repeated uploads of one graph cost one copy.
+func (s *Store) Put(g *graph.CSR, desc string) (*StoredGraph, error) {
+	fp := g.Fingerprint()
+	id := GraphID(fp)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if existing, ok := sh.graphs[id]; ok {
+		return existing, nil
+	}
+	if s.count.Load() >= int64(s.maxGraphs) {
+		return nil, ErrStoreFull
+	}
+	sg := &StoredGraph{ID: id, Desc: desc, Graph: g, Fingerprint: fp}
+	sh.graphs[id] = sg
+	s.count.Add(1)
+	return sg, nil
+}
+
+// Get returns the graph stored under id.
+func (s *Store) Get(id string) (*StoredGraph, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sg, ok := sh.graphs[id]
+	return sg, ok
+}
+
+// Len returns the number of resident graphs.
+func (s *Store) Len() int { return int(s.count.Load()) }

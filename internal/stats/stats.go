@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -113,6 +114,26 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
+// JSON renders the table as one JSON object with "title", "header" and
+// "rows" keys (rows as arrays of strings), terminated by a newline. It is
+// the machine-readable form the serving layer returns for experiment
+// tables.
+func (t *Table) JSON(w io.Writer) error {
+	v := struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.Title, Header: t.Header, Rows: t.Rows}
+	// Encode empty tables as [] rather than null.
+	if v.Header == nil {
+		v.Header = []string{}
+	}
+	if v.Rows == nil {
+		v.Rows = [][]string{}
+	}
+	return json.NewEncoder(w).Encode(v)
+}
+
 // Speedup returns sequential/parallel, guarding zero.
 func Speedup(seq, par uint64) float64 {
 	if par == 0 {
@@ -135,10 +156,14 @@ func BreakdownRow(b exec.Breakdown) []string {
 // BucketedTrace resamples an active-vertex trace into nb equal buckets of
 // normalized execution time, each holding the mean active count observed
 // in that bucket normalized to the trace maximum (Figure 2's axes).
-// Empty buckets carry forward the previous value.
+// Empty buckets carry forward the previous value. A non-positive bucket
+// count returns nil.
 func BucketedTrace(trace []exec.ActiveSample, total uint64, nb int) []float64 {
+	if nb <= 0 {
+		return nil
+	}
 	out := make([]float64, nb)
-	if len(trace) == 0 || total == 0 || nb == 0 {
+	if len(trace) == 0 || total == 0 {
 		return out
 	}
 	var maxA int64 = 1

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -49,6 +50,48 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\n\"x,y\",\"has \"\"quote\"\"\"\n"
 	if buf.String() != want {
 		t.Fatalf("csv %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("Table IV", "bench", "value")
+	tb.Add(`has "quote"`, "line1\nline2")
+	tb.Add("comma, cell", "π ≈ 3.14")
+	var buf bytes.Buffer
+	if err := tb.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("JSON output not newline-terminated")
+	}
+	var got struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "Table IV" || len(got.Header) != 2 || len(got.Rows) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Cells needing escaping must survive the round trip byte-for-byte.
+	if got.Rows[0][0] != `has "quote"` || got.Rows[0][1] != "line1\nline2" {
+		t.Fatalf("escaped cells corrupted: %q", got.Rows[0])
+	}
+	if got.Rows[1][1] != "π ≈ 3.14" {
+		t.Fatalf("unicode cell corrupted: %q", got.Rows[1][1])
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable("empty").JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	if !strings.Contains(got, `"header":[]`) || !strings.Contains(got, `"rows":[]`) {
+		t.Fatalf("empty table must encode [] not null: %s", got)
 	}
 }
 
@@ -102,6 +145,51 @@ func TestBucketedTrace(t *testing.T) {
 	}
 	if got := BucketedTrace(nil, 100, 3); len(got) != 3 {
 		t.Fatal("nil trace should give zero buckets of requested length")
+	}
+}
+
+// TestBucketedTraceEdgeCases pins the boundary behaviour: empty trace,
+// non-positive bucket counts (previously a panic for nb < 0), zero total,
+// and a single-sample trace.
+func TestBucketedTraceEdgeCases(t *testing.T) {
+	sample := []exec.ActiveSample{{Time: 10, Active: 5}}
+
+	if got := BucketedTrace(sample, 100, 0); got != nil {
+		t.Fatalf("nb=0 returned %v, want nil", got)
+	}
+	if got := BucketedTrace(sample, 100, -3); got != nil {
+		t.Fatalf("nb=-3 returned %v, want nil (must not panic)", got)
+	}
+
+	got := BucketedTrace([]exec.ActiveSample{}, 100, 4)
+	if len(got) != 4 {
+		t.Fatalf("empty trace length %d, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("empty trace bucket %d = %g, want 0", i, v)
+		}
+	}
+
+	// total=0 means no time axis to bucket over: all zeros.
+	got = BucketedTrace(sample, 0, 4)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("total=0 bucket %d = %g, want 0", i, v)
+		}
+	}
+
+	// A single sample normalizes to itself (1.0) and carries forward from
+	// its own bucket; buckets before it stay 0.
+	got = BucketedTrace([]exec.ActiveSample{{Time: 60, Active: 7}}, 100, 4)
+	if len(got) != 4 {
+		t.Fatalf("single-sample length %d, want 4", len(got))
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("buckets before the sample = %g/%g, want 0/0", got[0], got[1])
+	}
+	if got[2] != 1.0 || got[3] != 1.0 {
+		t.Fatalf("sample bucket and carry-forward = %g/%g, want 1/1", got[2], got[3])
 	}
 }
 
