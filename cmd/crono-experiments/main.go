@@ -6,12 +6,18 @@
 //	crono-experiments -exp fig1
 //	crono-experiments -exp all -scale 0.5
 //	crono-experiments -exp tab4 -threads 1,4,16,64,256
+//
+// SIGINT cancels the in-flight kernel at its next checkpoint; -timeout
+// bounds the whole invocation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +34,7 @@ func main() {
 		cores   = flag.Int("cores", 256, "simulated core count")
 		csvDir  = flag.String("csv", "", "also write every table as CSV into this directory")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -38,7 +45,16 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := harness.DefaultConfig(os.Stdout)
+	cfg.Ctx = ctx
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Cores = *cores
@@ -71,7 +87,14 @@ func main() {
 		fmt.Printf("==> %s: %s\n", e.ID, e.Title)
 		t0 := time.Now()
 		if err := e.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "crono-experiments: %s: %v\n", e.ID, err)
+			switch {
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(os.Stderr, "crono-experiments: %s: interrupted\n", e.ID)
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "crono-experiments: %s: exceeded the %s timeout\n", e.ID, *timeout)
+			default:
+				fmt.Fprintf(os.Stderr, "crono-experiments: %s: %v\n", e.ID, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("<== %s done in %s\n\n", e.ID, time.Since(t0).Round(time.Millisecond))

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -66,13 +68,16 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := sweep(*benchName, *dimName, *values, *threads, *n, *seed, *ooo); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := sweep(ctx, *benchName, *dimName, *values, *threads, *n, *seed, *ooo); err != nil {
 		fmt.Fprintln(os.Stderr, "crono-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func sweep(benchName, dimName, values string, threads, n int, seed int64, ooo bool) error {
+func sweep(ctx context.Context, benchName, dimName, values string, threads, n int, seed int64, ooo bool) error {
 	b, err := core.ByName(benchName)
 	if err != nil {
 		return err
@@ -116,10 +121,11 @@ func sweep(benchName, dimName, values string, threads, n int, seed int64, ooo bo
 		if err != nil {
 			return fmt.Errorf("%s=%d: %v", dimName, v, err)
 		}
-		rep, err := b.Run(m, in, p)
+		res, err := b.Run(ctx, m, core.Request{Input: in, Threads: p})
 		if err != nil {
 			return fmt.Errorf("%s=%d: %v", dimName, v, err)
 		}
+		rep := res.Report
 		bd := rep.Breakdown
 		fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%.0f\n",
 			benchName, v, rep.Threads, rep.Time,

@@ -66,7 +66,7 @@ func doRecord(path, benchName, kind string, threads, n int, seed int64) error {
 		in.G = graph.Generate(graph.Kind(kind), n, seed)
 	}
 	rec := trace.NewRecorder()
-	rep, err := b.Run(rec, in, threads)
+	rep, err := b.RunReport(rec, in, threads)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +30,7 @@ func main() {
 		verbose = flag.Bool("v", false, "print every check")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	failures := 0
 	for trial := 0; trial < *trials; trial++ {
@@ -65,52 +67,52 @@ func main() {
 			fail(&failures, "trial=%d %s on %s (n=%d p=%d): %s", trial, name, plName, n, threads, detail)
 		}
 
-		if res, err := core.SSSP(pl, g, 0, threads); err != nil {
+		if res, err := core.SSSP(ctx, pl, g, 0, threads); err != nil {
 			check("SSSP", false, err.Error())
 		} else {
 			check("SSSP", equalInt32(res.Dist, core.SSSPRef(g, 0)), "distances diverge")
 		}
-		if res, err := core.BFS(pl, g, 0, threads); err != nil {
+		if res, err := core.BFS(ctx, pl, g, 0, threads); err != nil {
 			check("BFS", false, err.Error())
 		} else {
 			check("BFS", equalInt32(res.Level, core.BFSRef(g, 0)), "levels diverge")
 		}
-		if res, err := core.DFS(pl, g, 0, threads); err != nil {
+		if res, err := core.DFS(ctx, pl, g, 0, threads); err != nil {
 			check("DFS", false, err.Error())
 		} else {
 			check("DFS", equalBool(res.Visited, core.DFSRef(g, 0)), "reachability diverges")
 		}
-		if res, err := core.APSP(pl, d, threads); err != nil {
+		if res, err := core.APSP(ctx, pl, d, threads); err != nil {
 			check("APSP", false, err.Error())
 		} else {
 			check("APSP", equalInt32(res.Dist, core.FloydWarshallRef(d)), "matrix diverges")
 		}
-		if res, err := core.Betweenness(pl, d, threads); err != nil {
+		if res, err := core.Betweenness(ctx, pl, d, threads); err != nil {
 			check("BETW_CENT", false, err.Error())
 		} else {
 			check("BETW_CENT", equalInt64(res.Centrality, core.BetweennessRef(d)), "centralities diverge")
 		}
-		if res, err := core.TSP(pl, cities, threads); err != nil {
+		if res, err := core.TSP(ctx, pl, cities, threads); err != nil {
 			check("TSP", false, err.Error())
 		} else {
 			check("TSP", res.Cost == core.TSPRef(cities), "tour not optimal")
 		}
-		if res, err := core.ConnectedComponents(pl, g, threads); err != nil {
+		if res, err := core.ConnectedComponents(ctx, pl, g, threads); err != nil {
 			check("CONN_COMP", false, err.Error())
 		} else {
 			check("CONN_COMP", equalInt32(res.Labels, core.ComponentsRef(g)), "labels diverge")
 		}
-		if res, err := core.TriangleCount(pl, g, threads); err != nil {
+		if res, err := core.TriangleCount(ctx, pl, g, threads); err != nil {
 			check("TRI_CNT", false, err.Error())
 		} else {
 			check("TRI_CNT", res.Total == core.TriangleCountRef(g), "counts diverge")
 		}
-		if res, err := core.PageRank(pl, g, threads, 6); err != nil {
+		if res, err := core.PageRank(ctx, pl, g, threads, 6); err != nil {
 			check("PageRank", false, err.Error())
 		} else {
 			check("PageRank", closeFloat(res.Ranks, core.PageRankRef(g, 6)), "ranks diverge")
 		}
-		if res, err := core.Community(pl, g, threads, 6); err != nil {
+		if res, err := core.Community(ctx, pl, g, threads, 6); err != nil {
 			check("COMM", false, err.Error())
 		} else {
 			ok := res.Modularity >= -0.5 && res.Modularity <= 1

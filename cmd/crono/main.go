@@ -8,13 +8,19 @@
 //	crono -bench PageRank -platform native -threads 8 -graph social
 //	crono -bench BFS -platform sim -input graph.el -threads 16
 //	crono -list
+//
+// SIGINT cancels the in-flight kernel at its next checkpoint; -timeout
+// bounds the whole run.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"crono/internal/core"
@@ -40,6 +46,7 @@ func main() {
 		ooo       = flag.Bool("ooo", false, "simulate out-of-order cores")
 		jsonOut   = flag.Bool("json", false, "emit the full report as JSON")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -49,13 +56,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(*benchName, *platform, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "crono:", err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *benchName, *platform, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "crono: interrupted")
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "crono: run exceeded the %s timeout\n", *timeout)
+		} else {
+			fmt.Fprintln(os.Stderr, "crono:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(benchName, platform string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
+func run(ctx context.Context, benchName, platform string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
 	b, err := core.ByName(benchName)
 	if err != nil {
 		return err
@@ -98,10 +120,11 @@ func run(benchName, platform string, threads, n int, kind, inputFile string, see
 		return fmt.Errorf("unknown platform %q (want sim or native)", platform)
 	}
 
-	rep, err := b.Run(pl, in, threads)
+	res, err := b.Run(ctx, pl, core.Request{Input: in, Threads: threads})
 	if err != nil {
 		return err
 	}
+	rep := res.Report
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

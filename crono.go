@@ -31,6 +31,7 @@
 package crono
 
 import (
+	"context"
 	"io"
 
 	"crono/internal/core"
@@ -89,6 +90,16 @@ type Benchmark = core.Benchmark
 
 // BenchmarkInput bundles the inputs a Benchmark.Run expects.
 type BenchmarkInput = core.Input
+
+// RunRequest is the typed argument of Benchmark.Run and crono.Run: the
+// input plus thread count and per-kernel knobs (PageRank iterations,
+// COMM pass bound, delta-stepping band width, BFS_TARGET destination).
+// Zero-valued knobs take kernel defaults.
+type RunRequest = core.Request
+
+// RunResult is the typed result of Benchmark.Run and crono.Run: the
+// platform Report plus exactly one populated kernel payload.
+type RunResult = core.Result
 
 // Result types of the ten kernels.
 type (
@@ -150,57 +161,69 @@ func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
 func Suite() []Benchmark { return core.Suite() }
 
 // BenchmarkByName finds a benchmark by its paper identifier
-// (e.g. "SSSP_DIJK").
+// (e.g. "SSSP_DIJK") or a variant identifier (e.g. "SSSP_DELTA").
 func BenchmarkByName(name string) (Benchmark, error) { return core.ByName(name) }
+
+// Run executes a kernel by name under ctx. Canceling ctx (or exceeding
+// its deadline) aborts the run at the kernel's next phase boundary;
+// partial results are discarded and ctx.Err() is returned. The
+// per-kernel wrappers below are the never-canceled equivalents.
+func Run(ctx context.Context, pl Platform, kernel string, req RunRequest) (*RunResult, error) {
+	b, err := core.ByName(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(ctx, pl, req)
+}
 
 // SSSP runs single-source shortest paths (Dijkstra over pareto fronts).
 func SSSP(pl Platform, g *Graph, source, threads int) (*SSSPResult, error) {
-	return core.SSSP(pl, g, source, threads)
+	return core.SSSP(context.Background(), pl, g, source, threads)
 }
 
 // APSP runs all-pairs shortest paths by vertex capture.
 func APSP(pl Platform, d *Dense, threads int) (*APSPResult, error) {
-	return core.APSP(pl, d, threads)
+	return core.APSP(context.Background(), pl, d, threads)
 }
 
 // Betweenness runs betweenness centrality (APSP phase + centrality loop).
 func Betweenness(pl Platform, d *Dense, threads int) (*BetweennessResult, error) {
-	return core.Betweenness(pl, d, threads)
+	return core.Betweenness(context.Background(), pl, d, threads)
 }
 
 // BFS runs level-synchronous breadth-first search.
 func BFS(pl Platform, g *Graph, source, threads int) (*BFSResult, error) {
-	return core.BFS(pl, g, source, threads)
+	return core.BFS(context.Background(), pl, g, source, threads)
 }
 
 // DFS runs branch-parallel depth-first search.
 func DFS(pl Platform, g *Graph, source, threads int) (*DFSResult, error) {
-	return core.DFS(pl, g, source, threads)
+	return core.DFS(context.Background(), pl, g, source, threads)
 }
 
 // TSP runs the branch-and-bound travelling salesman benchmark.
 func TSP(pl Platform, cities *Dense, threads int) (*TSPResult, error) {
-	return core.TSP(pl, cities, threads)
+	return core.TSP(context.Background(), pl, cities, threads)
 }
 
 // ConnectedComponents runs label-propagation connected components.
 func ConnectedComponents(pl Platform, g *Graph, threads int) (*ComponentsResult, error) {
-	return core.ConnectedComponents(pl, g, threads)
+	return core.ConnectedComponents(context.Background(), pl, g, threads)
 }
 
 // TriangleCount runs exact triangle counting.
 func TriangleCount(pl Platform, g *Graph, threads int) (*TriangleCountResult, error) {
-	return core.TriangleCount(pl, g, threads)
+	return core.TriangleCount(context.Background(), pl, g, threads)
 }
 
 // PageRank runs the paper's Equation (1) PageRank for iters iterations.
 func PageRank(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error) {
-	return core.PageRank(pl, g, threads, iters)
+	return core.PageRank(context.Background(), pl, g, threads, iters)
 }
 
 // Community runs parallel Louvain community detection.
 func Community(pl Platform, g *Graph, threads, maxPasses int) (*CommunityResult, error) {
-	return core.Community(pl, g, threads, maxPasses)
+	return core.Community(context.Background(), pl, g, threads, maxPasses)
 }
 
 // Variant result types.
@@ -213,25 +236,25 @@ type (
 // extra relaxations for fewer synchronization rounds, relaxing the
 // barrier wall that caps SSSP at high thread counts.
 func SSSPDelta(pl Platform, g *Graph, source, threads int, delta int32) (*SSSPResult, error) {
-	return core.SSSPDelta(pl, g, source, threads, delta)
+	return core.SSSPDelta(context.Background(), pl, g, source, threads, delta)
 }
 
 // BFSTarget searches for a target vertex with level-synchronous BFS and
 // early exit, as the paper's Section III-4 describes.
 func BFSTarget(pl Platform, g *Graph, source, target, threads int) (*BFSTargetResult, error) {
-	return core.BFSTarget(pl, g, source, target, threads)
+	return core.BFSTarget(context.Background(), pl, g, source, target, threads)
 }
 
 // BetweennessBrandes computes exact unweighted betweenness centrality
 // with the work-efficient Brandes algorithm (sources by vertex capture).
 func BetweennessBrandes(pl Platform, g *Graph, threads int) (*BrandesResult, error) {
-	return core.BetweennessBrandes(pl, g, threads)
+	return core.BetweennessBrandes(context.Background(), pl, g, threads)
 }
 
 // PageRankPull runs Equation (1) PageRank in pull form, eliminating the
 // per-edge atomic locks of the push formulation.
 func PageRankPull(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error) {
-	return core.PageRankPull(pl, g, threads, iters)
+	return core.PageRankPull(context.Background(), pl, g, threads, iters)
 }
 
 // Modularity evaluates Newman modularity of a community assignment.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crono/internal/exec"
@@ -61,6 +62,9 @@ func (st *apspState) kernel(ctx exec.Ctx) {
 	ldone := make([]bool, n)
 	rl := st.rLoc[tid]
 	for {
+		if ctx.Checkpoint() != nil {
+			return
+		}
 		// Vertex capture: "two threads must not pick the same vertex".
 		ctx.Lock(st.capt)
 		ctx.Load(st.rCur.At(0))
@@ -115,8 +119,8 @@ func (st *apspState) kernel(ctx exec.Ctx) {
 // APSP runs the all-pairs shortest path benchmark: a vertex-capture outer
 // loop where each thread repeatedly captures a source vertex and computes
 // its shortest-path row with a private Dijkstra instance, as in the
-// paper's Section III-2.
-func APSP(pl exec.Platform, d *graph.Dense, threads int) (*APSPResult, error) {
+// paper's Section III-2. Cancellation is polled per captured source.
+func APSP(goCtx context.Context, pl exec.Platform, d *graph.Dense, threads int) (*APSPResult, error) {
 	if d == nil || d.N == 0 {
 		return nil, fmt.Errorf("core: APSP needs a non-empty matrix")
 	}
@@ -124,7 +128,10 @@ func APSP(pl exec.Platform, d *graph.Dense, threads int) (*APSPResult, error) {
 		return nil, fmt.Errorf("core: thread count %d < 1", threads)
 	}
 	st := newAPSPState(pl, d, threads)
-	rep := pl.Run(threads, st.kernel)
+	rep, err := pl.RunCtx(goCtx, threads, st.kernel)
+	if err != nil {
+		return nil, err
+	}
 	return &APSPResult{Dist: st.dist, N: d.N, Report: rep}, nil
 }
 

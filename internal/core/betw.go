@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crono/internal/exec"
@@ -22,8 +23,9 @@ type BetweennessResult struct {
 // Betweenness runs the BETW_CENT benchmark exactly as Section III-3
 // describes: an APSP phase (vertex capture), then a barrier, then a final
 // loop statically divided among threads that reads shortest-path values
-// and updates vertex centralities under atomic locks.
-func Betweenness(pl exec.Platform, d *graph.Dense, threads int) (*BetweennessResult, error) {
+// and updates vertex centralities under atomic locks. Cancellation is
+// polled per captured vertex in phase one and per source in phase two.
+func Betweenness(goCtx context.Context, pl exec.Platform, d *graph.Dense, threads int) (*BetweennessResult, error) {
 	if d == nil || d.N == 0 {
 		return nil, fmt.Errorf("core: Betweenness needs a non-empty matrix")
 	}
@@ -40,7 +42,7 @@ func Betweenness(pl exec.Platform, d *graph.Dense, threads int) (*BetweennessRes
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		// Phase 1: all-pairs shortest paths by vertex capture.
 		st.kernel(ctx)
 		ctx.Barrier(bar)
@@ -50,6 +52,9 @@ func Betweenness(pl exec.Platform, d *graph.Dense, threads int) (*BetweennessRes
 		local := make([]int64, n)
 		dist := st.dist
 		for s := lo; s < hi; s++ {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			ctx.Active(1)
 			for i := range local {
 				local[i] = 0
@@ -91,6 +96,9 @@ func Betweenness(pl exec.Platform, d *graph.Dense, threads int) (*BetweennessRes
 			ctx.Active(-1)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	return &BetweennessResult{Centrality: cent, Dist: st.dist, Report: rep}, nil
 }

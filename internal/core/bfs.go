@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crono/internal/exec"
@@ -25,8 +26,8 @@ type BFSResult struct {
 // each level, every thread scans its static vertex range (graph
 // division) for vertices on the current level, claims their unvisited
 // neighbors under per-vertex atomic locks, and a barrier separates
-// levels.
-func BFS(pl exec.Platform, g *graph.CSR, src, threads int) (*BFSResult, error) {
+// levels. Cancellation is polled once per level.
+func BFS(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int) (*BFSResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -50,7 +51,7 @@ func BFS(pl exec.Platform, g *graph.CSR, src, threads int) (*BFSResult, error) {
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		cur := int32(0)
@@ -100,9 +101,15 @@ func BFS(pl exec.Platform, g *graph.CSR, src, threads int) (*BFSResult, error) {
 			if atomic.LoadInt32(&done) == 1 {
 				return
 			}
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			cur++
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	visited := 0
 	for _, l := range level {

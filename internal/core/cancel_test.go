@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// TestEveryKernelRespectsPreCanceledContext: all suite kernels and all
+// variants must refuse to run under an already-canceled context, return
+// exactly the context's error and no partial result.
+func TestEveryKernelRespectsPreCanceledContext(t *testing.T) {
+	in := Input{
+		G:      graph.UniformSparse(200, 4, 20, 3),
+		D:      graph.DenseFromCSR(graph.UniformSparse(32, 3, 10, 4)),
+		Cities: graph.Cities(7, 5),
+		Source: 0,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range append(Suite(), Variants()...) {
+		res, err := b.Run(ctx, native.New(), Request{Input: in, Threads: 4})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", b.Name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: partial result %+v returned for canceled run", b.Name, res)
+		}
+	}
+}
+
+// TestKernelCancelMidFlight: canceling during a long kernel run aborts it
+// at the next checkpoint instead of running to completion.
+func TestKernelCancelMidFlight(t *testing.T) {
+	g := graph.UniformSparse(3000, 8, 50, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		// Effectively unbounded iterations: only cancellation ends it soon.
+		_, err := PageRank(ctx, native.New(), g, 4, 1_000_000)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PageRank ignored cancellation")
+	}
+}
+
+// TestKernelDeadlineMidFlight: a deadline aborts TSP's recursive search,
+// which unwinds through the aborted flag rather than a loop boundary.
+func TestKernelDeadlineMidFlight(t *testing.T) {
+	cities := graph.Cities(16, 9) // several seconds of search uncanceled
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := TSP(ctx, native.New(), cities, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("TSP took %s to honor a 20ms deadline", e)
+	}
+}
+
+// TestRequestDefaults: WithDefaults fills the documented fallbacks and
+// leaves explicit values alone.
+func TestRequestDefaults(t *testing.T) {
+	d := Request{}.WithDefaults()
+	if d.Threads != 1 || d.Iters != DefaultPageRankIters ||
+		d.MaxPasses != DefaultCommunityPasses || d.Delta != DefaultSSSPDelta {
+		t.Fatalf("bad defaults %+v", d)
+	}
+	r := Request{Threads: 8, Iters: 3, MaxPasses: 2, Delta: 7, Target: 5}.WithDefaults()
+	if r.Threads != 8 || r.Iters != 3 || r.MaxPasses != 2 || r.Delta != 7 || r.Target != 5 {
+		t.Fatalf("explicit values clobbered: %+v", r)
+	}
+}
+
+// TestVariantsReachableByName: the four variants resolve through ByName
+// but stay out of the ten-kernel Suite.
+func TestVariantsReachableByName(t *testing.T) {
+	if n := len(Suite()); n != 10 {
+		t.Fatalf("suite has %d kernels, want 10", n)
+	}
+	for _, name := range []string{"SSSP_DELTA", "BFS_TARGET", "BETW_BRANDES", "PAGERANK_PULL"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Name != name {
+			t.Fatalf("ByName(%s) returned %s", name, b.Name)
+		}
+		for _, s := range Suite() {
+			if s.Name == name {
+				t.Fatalf("variant %s leaked into Suite()", name)
+			}
+		}
+	}
+}
+
+// TestVariantsRunViaTypedAPI: each variant produces its typed payload
+// through the Benchmark.Run entry.
+func TestVariantsRunViaTypedAPI(t *testing.T) {
+	g := graph.UniformSparse(150, 4, 20, 11)
+	in := Input{G: g, Source: 0}
+	for _, b := range Variants() {
+		res, err := b.Run(context.Background(), native.New(), Request{Input: in, Threads: 3, Target: 17})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Report == nil {
+			t.Fatalf("%s: no report", b.Name)
+		}
+		switch b.Name {
+		case "SSSP_DELTA":
+			if res.SSSP == nil {
+				t.Fatalf("%s: missing SSSP payload", b.Name)
+			}
+		case "BFS_TARGET":
+			if res.BFSTarget == nil {
+				t.Fatalf("%s: missing BFSTarget payload", b.Name)
+			}
+		case "BETW_BRANDES":
+			if res.Brandes == nil {
+				t.Fatalf("%s: missing Brandes payload", b.Name)
+			}
+		case "PAGERANK_PULL":
+			if res.PageRank == nil {
+				t.Fatalf("%s: missing PageRank payload", b.Name)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crono/internal/exec"
@@ -38,7 +39,8 @@ type CommunityResult struct {
 // bounded heuristic relaxes the inherently sequential inter-vertex
 // dependencies: moves use slightly stale community totals, trading
 // modularity accuracy for scalability exactly as the paper describes.
-func Community(pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*CommunityResult, error) {
+// Cancellation is polled once per pass.
+func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*CommunityResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -60,8 +62,11 @@ func Community(pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*Communi
 		m2i += k[v]
 	}
 	if m2i == 0 {
-		return &CommunityResult{Community: comm, Communities: n, Passes: 0,
-			Report: pl.Run(threads, func(exec.Ctx) {})}, nil
+		rep, err := pl.RunCtx(goCtx, threads, func(exec.Ctx) {})
+		if err != nil {
+			return nil, err
+		}
+		return &CommunityResult{Community: comm, Communities: n, Passes: 0, Report: rep}, nil
 	}
 	m2 := float64(m2i)
 
@@ -82,11 +87,14 @@ func Community(pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*Communi
 	passes := 0
 	lastQ := -1.0
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		nbrW := make(map[int32]int64, 16)
 		for {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			moved[tid] = 0
 			ctx.Active(hi - lo)
 			for v := lo; v < hi; v++ {
@@ -196,6 +204,9 @@ func Community(pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*Communi
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	q := Modularity(g, comm)
 	seen := make(map[int32]bool)

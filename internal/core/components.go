@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crono/internal/exec"
@@ -25,7 +26,8 @@ type ComponentsResult struct {
 // then sweeps statically divided among threads pull the minimum neighbor
 // label under per-vertex atomic locks; barriers separate the set and
 // update phases, and the algorithm stops when a sweep changes nothing.
-func ConnectedComponents(pl exec.Platform, g *graph.CSR, threads int) (*ComponentsResult, error) {
+// Cancellation is polled once per sweep.
+func ConnectedComponents(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads int) (*ComponentsResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -45,7 +47,7 @@ func ConnectedComponents(pl exec.Platform, g *graph.CSR, threads int) (*Componen
 	bar := pl.NewBarrier(threads)
 	done := int32(0)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		// Phase 1: initialization sweep.
@@ -101,8 +103,14 @@ func ConnectedComponents(pl exec.Platform, g *graph.CSR, threads int) (*Componen
 			if atomic.LoadInt32(&done) == 1 {
 				return
 			}
+			if ctx.Checkpoint() != nil {
+				return
+			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	seen := make(map[int32]bool)
 	for _, l := range labels {

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crono/internal/exec"
@@ -35,6 +36,67 @@ type Input struct {
 	Source int
 }
 
+// Request bundles one kernel execution's input and options. Zero-valued
+// options resolve to validated defaults, so callers set only what they
+// care about; kernels that do not consume an option ignore it.
+type Request struct {
+	// Input carries the graph and matrix inputs plus the source vertex.
+	Input
+	// Threads is the parallelism degree (minimum and default 1).
+	Threads int
+	// Iters is the PageRank iteration count (PageRank and PAGERANK_PULL;
+	// default DefaultPageRankIters).
+	Iters int
+	// MaxPasses bounds Louvain passes (COMM; default
+	// DefaultCommunityPasses).
+	MaxPasses int
+	// Delta is the delta-stepping bucket width (SSSP_DELTA; default
+	// DefaultSSSPDelta).
+	Delta int32
+	// Target is the vertex BFS_TARGET searches for. The zero value is
+	// vertex 0; the kernel validates the range.
+	Target int
+}
+
+// WithDefaults returns the request with every zero-valued option resolved
+// to its documented default.
+func (r Request) WithDefaults() Request {
+	if r.Threads < 1 {
+		r.Threads = 1
+	}
+	if r.Iters < 1 {
+		r.Iters = DefaultPageRankIters
+	}
+	if r.MaxPasses < 1 {
+		r.MaxPasses = DefaultCommunityPasses
+	}
+	if r.Delta < 1 {
+		r.Delta = DefaultSSSPDelta
+	}
+	return r
+}
+
+// Result is one kernel execution's outcome: the platform report plus the
+// kernel's typed payload. Exactly one payload field is non-nil — the one
+// matching the benchmark that produced it.
+type Result struct {
+	// Report is the platform execution report.
+	Report *exec.Report
+
+	SSSP        *SSSPResult
+	APSP        *APSPResult
+	Betweenness *BetweennessResult
+	BFS         *BFSResult
+	DFS         *DFSResult
+	TSP         *TSPResult
+	Components  *ComponentsResult
+	Triangles   *TriangleCountResult
+	PageRank    *PageRankResult
+	Community   *CommunityResult
+	BFSTarget   *BFSTargetResult
+	Brandes     *BrandesResult
+}
+
 // Benchmark describes one suite entry for the harness.
 type Benchmark struct {
 	// Name is the paper identifier (Table I), e.g. "SSSP_DIJK".
@@ -45,8 +107,24 @@ type Benchmark struct {
 	UsesMatrix bool
 	// UsesCities marks TSP.
 	UsesCities bool
-	// Run executes the kernel and returns its platform report.
-	Run func(pl exec.Platform, in Input, threads int) (*exec.Report, error)
+	// Run executes the kernel under ctx and returns the report plus the
+	// kernel's typed payload. Cancellation is cooperative: when ctx is
+	// canceled the kernel unwinds at its next phase boundary and Run
+	// returns ctx.Err() with partial results discarded.
+	Run func(ctx context.Context, pl exec.Platform, req Request) (*Result, error)
+}
+
+// RunReport executes the kernel with a background context and returns
+// only the platform report.
+//
+// Deprecated: use Run with a context and a Request; it cancels cleanly
+// and keeps the kernel's typed payload.
+func (b Benchmark) RunReport(pl exec.Platform, in Input, threads int) (*exec.Report, error) {
+	res, err := b.Run(context.Background(), pl, Request{Input: in, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }
 
 // Suite lists all ten benchmarks in paper order.
@@ -54,110 +132,178 @@ func Suite() []Benchmark {
 	return []Benchmark{
 		{
 			Name: "SSSP_DIJK", Parallelization: "Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := SSSP(pl, in.G, in.Source, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := SSSP(ctx, pl, req.G, req.Source, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, SSSP: r}, nil
 			},
 		},
 		{
 			Name: "APSP", Parallelization: "Vertex Capture", UsesMatrix: true,
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := APSP(pl, in.D, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := APSP(ctx, pl, req.D, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, APSP: r}, nil
 			},
 		},
 		{
 			Name: "BETW_CENT", Parallelization: "Vertex Capture & Outer Loop", UsesMatrix: true,
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := Betweenness(pl, in.D, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := Betweenness(ctx, pl, req.D, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, Betweenness: r}, nil
 			},
 		},
 		{
 			Name: "BFS", Parallelization: "Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := BFS(pl, in.G, in.Source, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := BFS(ctx, pl, req.G, req.Source, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, BFS: r}, nil
 			},
 		},
 		{
 			Name: "DFS", Parallelization: "Branch and Bound",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := DFS(pl, in.G, in.Source, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := DFS(ctx, pl, req.G, req.Source, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, DFS: r}, nil
 			},
 		},
 		{
 			Name: "TSP", Parallelization: "Branch and Bound", UsesCities: true,
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := TSP(pl, in.Cities, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := TSP(ctx, pl, req.Cities, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, TSP: r}, nil
 			},
 		},
 		{
 			Name: "CONN_COMP", Parallelization: "Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := ConnectedComponents(pl, in.G, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := ConnectedComponents(ctx, pl, req.G, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, Components: r}, nil
 			},
 		},
 		{
 			Name: "TRI_CNT", Parallelization: "Vertex Capture & Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := TriangleCount(pl, in.G, p)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := TriangleCount(ctx, pl, req.G, req.Threads)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, Triangles: r}, nil
 			},
 		},
 		{
 			Name: "PageRank", Parallelization: "Vertex Capture & Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := PageRank(pl, in.G, p, DefaultPageRankIters)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := PageRank(ctx, pl, req.G, req.Threads, req.Iters)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, PageRank: r}, nil
 			},
 		},
 		{
 			Name: "COMM", Parallelization: "Vertex Capture & Graph Division",
-			Run: func(pl exec.Platform, in Input, p int) (*exec.Report, error) {
-				r, err := Community(pl, in.G, p, DefaultCommunityPasses)
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := Community(ctx, pl, req.G, req.Threads, req.MaxPasses)
 				if err != nil {
 					return nil, err
 				}
-				return r.Report, nil
+				return &Result{Report: r.Report, Community: r}, nil
 			},
 		},
 	}
 }
 
-// ByName returns the benchmark with the given paper identifier.
+// Variants lists the Section III algorithmic variants as runnable
+// benchmarks. They are not part of the Table I suite, but ByName resolves
+// them, so the service and the CLI can execute them by name.
+func Variants() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "SSSP_DELTA", Parallelization: "Graph Division (delta-stepping)",
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := SSSPDelta(ctx, pl, req.G, req.Source, req.Threads, req.Delta)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Report: r.Report, SSSP: r}, nil
+			},
+		},
+		{
+			Name: "BFS_TARGET", Parallelization: "Graph Division (early exit)",
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := BFSTarget(ctx, pl, req.G, req.Source, req.Target, req.Threads)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Report: r.Report, BFSTarget: r}, nil
+			},
+		},
+		{
+			Name: "BETW_BRANDES", Parallelization: "Vertex Capture (Brandes)",
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := BetweennessBrandes(ctx, pl, req.G, req.Threads)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Report: r.Report, Brandes: r}, nil
+			},
+		},
+		{
+			Name: "PAGERANK_PULL", Parallelization: "Graph Division (pull)",
+			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				req = req.WithDefaults()
+				r, err := PageRankPull(ctx, pl, req.G, req.Threads, req.Iters)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Report: r.Report, PageRank: r}, nil
+			},
+		},
+	}
+}
+
+// ByName returns the suite benchmark or variant with the given
+// identifier.
 func ByName(name string) (Benchmark, error) {
 	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range Variants() {
 		if b.Name == name {
 			return b, nil
 		}

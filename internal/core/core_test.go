@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		ref := SSSPRef(g, 0)
 		for _, p := range testThreads {
-			res, err := SSSP(native.New(), g, 0, p)
+			res, err := SSSP(context.Background(), native.New(), g, 0, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -95,16 +96,16 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 
 func TestSSSPErrors(t *testing.T) {
 	g := pathGraph(4)
-	if _, err := SSSP(native.New(), g, -1, 2); err == nil {
+	if _, err := SSSP(context.Background(), native.New(), g, -1, 2); err == nil {
 		t.Fatal("negative source accepted")
 	}
-	if _, err := SSSP(native.New(), g, 4, 2); err == nil {
+	if _, err := SSSP(context.Background(), native.New(), g, 4, 2); err == nil {
 		t.Fatal("out-of-range source accepted")
 	}
-	if _, err := SSSP(native.New(), g, 0, 0); err == nil {
+	if _, err := SSSP(context.Background(), native.New(), g, 0, 0); err == nil {
 		t.Fatal("zero threads accepted")
 	}
-	if _, err := SSSP(native.New(), nil, 0, 1); err == nil {
+	if _, err := SSSP(context.Background(), native.New(), nil, 0, 1); err == nil {
 		t.Fatal("nil graph accepted")
 	}
 }
@@ -113,7 +114,7 @@ func TestBFSMatchesRef(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		ref := BFSRef(g, 0)
 		for _, p := range testThreads {
-			res, err := BFS(native.New(), g, 0, p)
+			res, err := BFS(context.Background(), native.New(), g, 0, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -128,7 +129,7 @@ func TestBFSMatchesRef(t *testing.T) {
 
 func TestBFSVisitedAndLevels(t *testing.T) {
 	g := pathGraph(10)
-	res, err := BFS(native.New(), g, 0, 3)
+	res, err := BFS(context.Background(), native.New(), g, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestDFSVisitsReachableSet(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		ref := DFSRef(g, 0)
 		for _, p := range testThreads {
-			res, err := DFS(native.New(), g, 0, p)
+			res, err := DFS(context.Background(), native.New(), g, 0, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -166,7 +167,7 @@ func TestAPSPMatchesFloydWarshall(t *testing.T) {
 		d := graph.DenseFromCSR(g)
 		ref := FloydWarshallRef(d)
 		for _, p := range testThreads {
-			res, err := APSP(native.New(), d, p)
+			res, err := APSP(context.Background(), native.New(), d, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -184,7 +185,7 @@ func TestBetweennessMatchesRef(t *testing.T) {
 	d := graph.DenseFromCSR(g)
 	ref := BetweennessRef(d)
 	for _, p := range testThreads {
-		res, err := Betweenness(native.New(), d, p)
+		res, err := Betweenness(context.Background(), native.New(), d, p)
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -200,7 +201,7 @@ func TestBetweennessHubDominates(t *testing.T) {
 	// In a star, every (spoke,spoke) pair routes through the hub.
 	g := starGraph(10)
 	d := graph.DenseFromCSR(g)
-	res, err := Betweenness(native.New(), d, 4)
+	res, err := Betweenness(context.Background(), native.New(), d, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestTSPFindsOptimum(t *testing.T) {
 		cities := graph.Cities(n, int64(n))
 		want := TSPRef(cities)
 		for _, p := range testThreads {
-			res, err := TSP(native.New(), cities, p)
+			res, err := TSP(context.Background(), native.New(), cities, p)
 			if err != nil {
 				t.Fatalf("n=%d p=%d: %v", n, p, err)
 			}
@@ -232,7 +233,7 @@ func TestTSPFindsOptimum(t *testing.T) {
 
 func TestTSPTourIsValidPermutation(t *testing.T) {
 	cities := graph.Cities(9, 99)
-	res, err := TSP(native.New(), cities, 4)
+	res, err := TSP(context.Background(), native.New(), cities, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		ref := ComponentsRef(g)
 		for _, p := range testThreads {
-			res, err := ConnectedComponents(native.New(), g, p)
+			res, err := ConnectedComponents(context.Background(), native.New(), g, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -266,7 +267,7 @@ func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
 }
 
 func TestConnectedComponentsCounts(t *testing.T) {
-	res, err := ConnectedComponents(native.New(), disconnectedGraph(), 2)
+	res, err := ConnectedComponents(context.Background(), native.New(), disconnectedGraph(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestTriangleCountMatchesRef(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		want := TriangleCountRef(g)
 		for _, p := range testThreads {
-			res, err := TriangleCount(native.New(), g, p)
+			res, err := TriangleCount(context.Background(), native.New(), g, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -293,7 +294,7 @@ func TestTriangleCountMatchesRef(t *testing.T) {
 func TestTriangleCountPerVertex(t *testing.T) {
 	// A k-clique gives each vertex C(k-1,2) triangles.
 	g := twoCliques(5)
-	res, err := TriangleCount(native.New(), g, 3)
+	res, err := TriangleCount(context.Background(), native.New(), g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestPageRankMatchesRef(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		ref := PageRankRef(g, 10)
 		for _, p := range testThreads {
-			res, err := PageRank(native.New(), g, p, 10)
+			res, err := PageRank(context.Background(), native.New(), g, p, 10)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", name, p, err)
 			}
@@ -323,7 +324,7 @@ func TestPageRankMatchesRef(t *testing.T) {
 
 func TestPageRankHubRanksHighest(t *testing.T) {
 	g := starGraph(20)
-	res, err := PageRank(native.New(), g, 4, 20)
+	res, err := PageRank(context.Background(), native.New(), g, 4, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestPageRankHubRanksHighest(t *testing.T) {
 func TestCommunityFindsCliques(t *testing.T) {
 	g := twoCliques(6)
 	for _, p := range []int{1, 2, 4} {
-		res, err := Community(native.New(), g, p, DefaultCommunityPasses)
+		res, err := Community(context.Background(), native.New(), g, p, DefaultCommunityPasses)
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -366,7 +367,7 @@ func TestCommunityImprovesModularity(t *testing.T) {
 		singleton[i] = int32(i)
 	}
 	base := Modularity(g, singleton)
-	res, err := Community(native.New(), g, 4, DefaultCommunityPasses)
+	res, err := Community(context.Background(), native.New(), g, 4, DefaultCommunityPasses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,15 +411,24 @@ func TestSuiteRunsAllBenchmarks(t *testing.T) {
 		Source: 0,
 	}
 	for _, b := range Suite() {
-		rep, err := b.Run(native.New(), in, 4)
+		res, err := b.Run(context.Background(), native.New(), Request{Input: in, Threads: 4})
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
+		rep := res.Report
 		if rep == nil || rep.Threads != 4 {
 			t.Fatalf("%s: bad report %+v", b.Name, rep)
 		}
 		if rep.TotalInstructions() == 0 {
 			t.Fatalf("%s: no instructions recorded", b.Name)
+		}
+		// The deprecated shim keeps returning the bare report.
+		shim, err := b.RunReport(native.New(), in, 4)
+		if err != nil {
+			t.Fatalf("%s: RunReport shim: %v", b.Name, err)
+		}
+		if shim == nil || shim.Threads != 4 {
+			t.Fatalf("%s: bad shim report %+v", b.Name, shim)
 		}
 	}
 }
@@ -448,7 +458,7 @@ func TestChunkPartition(t *testing.T) {
 
 func TestVariabilityMetric(t *testing.T) {
 	g := starGraph(200)
-	res, err := SSSP(native.New(), g, 0, 4)
+	res, err := SSSP(context.Background(), native.New(), g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crono/internal/exec"
@@ -28,7 +29,9 @@ type DFSResult struct {
 // sub-branches back to the shared stack when their own branch grows long.
 // Vertices are claimed under per-vertex locks since branches share
 // vertices (the source of the benchmark's high L2Home-Sharers time).
-func DFS(pl exec.Platform, g *graph.CSR, src, threads int) (*DFSResult, error) {
+// Cancellation is polled per captured branch, which also breaks the idle
+// spin of threads waiting for work.
+func DFS(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int) (*DFSResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -52,9 +55,12 @@ func DFS(pl exec.Platform, g *graph.CSR, src, threads int) (*DFSResult, error) {
 	visited[src] = 1
 	shared = append(shared, int32(src))
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		local := make([]int32, 0, 256)
 		for {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			// Capture a branch root from the shared stack.
 			ctx.Lock(stackLock)
 			ctx.Load(rStack.At(0))
@@ -120,6 +126,9 @@ func DFS(pl exec.Platform, g *graph.CSR, src, threads int) (*DFSResult, error) {
 			ctx.Unlock(stackLock)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	vis := make([]bool, n)
 	count := 0

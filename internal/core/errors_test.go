@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"crono/internal/graph"
@@ -12,58 +13,58 @@ func TestKernelInputValidation(t *testing.T) {
 	pl := native.New()
 	g := pathGraph(4)
 
-	if _, err := BFS(pl, g, 9, 2); err == nil {
+	if _, err := BFS(context.Background(), pl, g, 9, 2); err == nil {
 		t.Error("BFS out-of-range source accepted")
 	}
-	if _, err := BFS(pl, nil, 0, 2); err == nil {
+	if _, err := BFS(context.Background(), pl, nil, 0, 2); err == nil {
 		t.Error("BFS nil graph accepted")
 	}
-	if _, err := DFS(pl, g, -1, 2); err == nil {
+	if _, err := DFS(context.Background(), pl, g, -1, 2); err == nil {
 		t.Error("DFS negative source accepted")
 	}
-	if _, err := ConnectedComponents(pl, g, 0); err == nil {
+	if _, err := ConnectedComponents(context.Background(), pl, g, 0); err == nil {
 		t.Error("CC zero threads accepted")
 	}
-	if _, err := TriangleCount(pl, &graph.CSR{Offsets: []int64{0}}, 1); err == nil {
+	if _, err := TriangleCount(context.Background(), pl, &graph.CSR{Offsets: []int64{0}}, 1); err == nil {
 		t.Error("TRI empty graph accepted")
 	}
-	if _, err := PageRank(pl, g, -3, 5); err == nil {
+	if _, err := PageRank(context.Background(), pl, g, -3, 5); err == nil {
 		t.Error("PR negative threads accepted")
 	}
-	if _, err := Community(pl, nil, 2, 4); err == nil {
+	if _, err := Community(context.Background(), pl, nil, 2, 4); err == nil {
 		t.Error("COMM nil graph accepted")
 	}
-	if _, err := APSP(pl, nil, 2); err == nil {
+	if _, err := APSP(context.Background(), pl, nil, 2); err == nil {
 		t.Error("APSP nil matrix accepted")
 	}
-	if _, err := APSP(pl, graph.NewDense(0), 2); err == nil {
+	if _, err := APSP(context.Background(), pl, graph.NewDense(0), 2); err == nil {
 		t.Error("APSP empty matrix accepted")
 	}
-	if _, err := APSP(pl, graph.NewDense(4), 0); err == nil {
+	if _, err := APSP(context.Background(), pl, graph.NewDense(4), 0); err == nil {
 		t.Error("APSP zero threads accepted")
 	}
-	if _, err := Betweenness(pl, nil, 2); err == nil {
+	if _, err := Betweenness(context.Background(), pl, nil, 2); err == nil {
 		t.Error("BETW nil matrix accepted")
 	}
-	if _, err := Betweenness(pl, graph.NewDense(3), 0); err == nil {
+	if _, err := Betweenness(context.Background(), pl, graph.NewDense(3), 0); err == nil {
 		t.Error("BETW zero threads accepted")
 	}
-	if _, err := TSP(pl, graph.Cities(1, 1), 2); err == nil {
+	if _, err := TSP(context.Background(), pl, graph.Cities(1, 1), 2); err == nil {
 		t.Error("TSP one city accepted")
 	}
-	if _, err := TSP(pl, nil, 2); err == nil {
+	if _, err := TSP(context.Background(), pl, nil, 2); err == nil {
 		t.Error("TSP nil cities accepted")
 	}
-	if _, err := SSSPDelta(pl, g, 0, 2, -1); err == nil {
+	if _, err := SSSPDelta(context.Background(), pl, g, 0, 2, -1); err == nil {
 		t.Error("SSSPDelta negative delta accepted")
 	}
-	if _, err := BFSTarget(pl, g, 0, -2, 1); err == nil {
+	if _, err := BFSTarget(context.Background(), pl, g, 0, -2, 1); err == nil {
 		t.Error("BFSTarget negative target accepted")
 	}
-	if _, err := BetweennessBrandes(pl, nil, 1); err == nil {
+	if _, err := BetweennessBrandes(context.Background(), pl, nil, 1); err == nil {
 		t.Error("Brandes nil graph accepted")
 	}
-	if _, err := PageRankPull(pl, nil, 1, 3); err == nil {
+	if _, err := PageRankPull(context.Background(), pl, nil, 1, 3); err == nil {
 		t.Error("PageRankPull nil graph accepted")
 	}
 }
@@ -71,14 +72,14 @@ func TestKernelInputValidation(t *testing.T) {
 // TestMorePageRankIterationClamp: iters < 1 clamps to one iteration.
 func TestMorePageRankIterationClamp(t *testing.T) {
 	g := pathGraph(8)
-	res, err := PageRank(native.New(), g, 2, 0)
+	res, err := PageRank(context.Background(), native.New(), g, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Iterations != 1 {
 		t.Fatalf("iterations %d, want clamp to 1", res.Iterations)
 	}
-	pull, err := PageRankPull(native.New(), g, 2, -5)
+	pull, err := PageRankPull(context.Background(), native.New(), g, 2, -5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestMorePageRankIterationClamp(t *testing.T) {
 
 // TestCommunityPassClamp: maxPasses < 1 clamps to one pass.
 func TestCommunityPassClamp(t *testing.T) {
-	res, err := Community(native.New(), twoCliques(4), 2, 0)
+	res, err := Community(context.Background(), native.New(), twoCliques(4), 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestCommunityPassClamp(t *testing.T) {
 // communities and zero modularity without running the kernel.
 func TestCommunityEdgelessGraph(t *testing.T) {
 	g := graph.FromEdges(5, nil, true)
-	res, err := Community(native.New(), g, 2, 3)
+	res, err := Community(context.Background(), native.New(), g, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +116,16 @@ func TestCommunityEdgelessGraph(t *testing.T) {
 func TestTrivialGraphsAcrossKernels(t *testing.T) {
 	pl := native.New()
 	g := graph.FromEdges(1, nil, true)
-	if r, err := SSSP(pl, g, 0, 2); err != nil || r.Dist[0] != 0 {
+	if r, err := SSSP(context.Background(), pl, g, 0, 2); err != nil || r.Dist[0] != 0 {
 		t.Fatalf("SSSP single vertex: %v", err)
 	}
-	if r, err := BFS(pl, g, 0, 2); err != nil || r.Visited != 1 {
+	if r, err := BFS(context.Background(), pl, g, 0, 2); err != nil || r.Visited != 1 {
 		t.Fatalf("BFS single vertex: %v", err)
 	}
-	if r, err := TriangleCount(pl, g, 2); err != nil || r.Total != 0 {
+	if r, err := TriangleCount(context.Background(), pl, g, 2); err != nil || r.Total != 0 {
 		t.Fatalf("TRI single vertex: %v", err)
 	}
-	if r, err := ConnectedComponents(pl, g, 2); err != nil || r.Components != 1 {
+	if r, err := ConnectedComponents(context.Background(), pl, g, 2); err != nil || r.Components != 1 {
 		t.Fatalf("CC single vertex: %v", err)
 	}
 }

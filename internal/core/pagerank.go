@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"crono/internal/exec"
 	"crono/internal/graph"
 )
@@ -29,8 +31,8 @@ type PageRankResult struct {
 // iteration pushes every vertex's contribution PR(j)/degree(j) to its
 // neighbors, with rank updates done under per-vertex atomic locks because
 // threads converge on common neighbors; barriers separate the reset, push
-// and swap phases.
-func PageRank(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
+// and swap phases. Cancellation is polled once per iteration.
+func PageRank(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -54,10 +56,13 @@ func PageRank(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResu
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		for it := 0; it < iters; it++ {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			// Reset phase: next = r over this thread's chunk.
 			for v := lo; v < hi; v++ {
 				next[v] = DampingR
@@ -97,6 +102,9 @@ func PageRank(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResu
 			ctx.Barrier(bar)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	return &PageRankResult{Ranks: pr, Iterations: iters, Report: rep}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("SSSP", func(t *testing.T) {
 		ref := SSSPRef(g, 0)
 		for _, p := range threads {
-			res, err := SSSP(simMachine(t, 16), g, 0, p)
+			res, err := SSSP(context.Background(), simMachine(t, 16), g, 0, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +46,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("BFS", func(t *testing.T) {
 		ref := BFSRef(g, 0)
 		for _, p := range threads {
-			res, err := BFS(simMachine(t, 16), g, 0, p)
+			res, err := BFS(context.Background(), simMachine(t, 16), g, 0, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,7 +60,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("DFS", func(t *testing.T) {
 		ref := DFSRef(g, 0)
 		for _, p := range threads {
-			res, err := DFS(simMachine(t, 16), g, 0, p)
+			res, err := DFS(context.Background(), simMachine(t, 16), g, 0, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,7 +75,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 		d := graph.DenseFromCSR(graph.UniformSparse(40, 3, 10, 7))
 		ref := FloydWarshallRef(d)
 		for _, p := range threads {
-			res, err := APSP(simMachine(t, 16), d, p)
+			res, err := APSP(context.Background(), simMachine(t, 16), d, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +90,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 		d := graph.DenseFromCSR(graph.UniformSparse(32, 3, 10, 9))
 		ref := BetweennessRef(d)
 		for _, p := range threads {
-			res, err := Betweenness(simMachine(t, 16), d, p)
+			res, err := Betweenness(context.Background(), simMachine(t, 16), d, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,7 +105,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 		cities := graph.Cities(7, 5)
 		want := TSPRef(cities)
 		for _, p := range threads {
-			res, err := TSP(simMachine(t, 16), cities, p)
+			res, err := TSP(context.Background(), simMachine(t, 16), cities, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +117,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("CONN_COMP", func(t *testing.T) {
 		ref := ComponentsRef(g)
 		for _, p := range threads {
-			res, err := ConnectedComponents(simMachine(t, 16), g, p)
+			res, err := ConnectedComponents(context.Background(), simMachine(t, 16), g, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +131,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("TRI_CNT", func(t *testing.T) {
 		want := TriangleCountRef(g)
 		for _, p := range threads {
-			res, err := TriangleCount(simMachine(t, 16), g, p)
+			res, err := TriangleCount(context.Background(), simMachine(t, 16), g, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,7 +143,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("PageRank", func(t *testing.T) {
 		ref := PageRankRef(g, 5)
 		for _, p := range threads {
-			res, err := PageRank(simMachine(t, 16), g, p, 5)
+			res, err := PageRank(context.Background(), simMachine(t, 16), g, p, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +157,7 @@ func TestKernelsCorrectOnSimulator(t *testing.T) {
 	t.Run("COMM", func(t *testing.T) {
 		cg := twoCliques(5)
 		for _, p := range threads {
-			res, err := Community(simMachine(t, 16), cg, p, DefaultCommunityPasses)
+			res, err := Community(context.Background(), simMachine(t, 16), cg, p, DefaultCommunityPasses)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -177,7 +178,7 @@ func TestSimulatorReportsArePopulated(t *testing.T) {
 		Source: 0,
 	}
 	for _, b := range Suite() {
-		rep, err := b.Run(simMachine(t, 16), in, 4)
+		rep, err := b.RunReport(simMachine(t, 16), in, 4)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
@@ -203,11 +204,11 @@ func TestSimulatorReportsArePopulated(t *testing.T) {
 // compares the algorithmic output (the timing differs by design).
 func TestNativeAndSimAgree(t *testing.T) {
 	g := graph.RoadNet(300, 8)
-	nat, err := SSSP(native.New(), g, 0, 4)
+	nat, err := SSSP(context.Background(), native.New(), g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	simr, err := SSSP(simMachine(t, 16), g, 0, 4)
+	simr, err := SSSP(context.Background(), simMachine(t, 16), g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -26,7 +27,7 @@ func TestSSSPTriangleInequality(t *testing.T) {
 	f := func(seed int64, pRaw uint8) bool {
 		g := randomGraph(seed)
 		p := int(pRaw)%6 + 1
-		res, err := SSSP(native.New(), g, 0, p)
+		res, err := SSSP(context.Background(), native.New(), g, 0, p)
 		if err != nil {
 			return false
 		}
@@ -58,7 +59,7 @@ func TestBFSLevelsDifferByAtMostOne(t *testing.T) {
 	f := func(seed int64, pRaw uint8) bool {
 		g := randomGraph(seed)
 		p := int(pRaw)%6 + 1
-		res, err := BFS(native.New(), g, 0, p)
+		res, err := BFS(context.Background(), native.New(), g, 0, p)
 		if err != nil {
 			return false
 		}
@@ -98,7 +99,7 @@ func TestComponentsLabelsAreFixpoint(t *testing.T) {
 	f := func(seed int64, pRaw uint8) bool {
 		g := randomGraph(seed)
 		p := int(pRaw)%6 + 1
-		res, err := ConnectedComponents(native.New(), g, p)
+		res, err := ConnectedComponents(context.Background(), native.New(), g, p)
 		if err != nil {
 			return false
 		}
@@ -134,7 +135,7 @@ func TestPageRankMassInvariant(t *testing.T) {
 		g := graph.SocialNet(n, 3, seed) // connected, no isolated vertices
 		p := int(pRaw)%6 + 1
 		iters := rng.Intn(12) + 1
-		res, err := PageRank(native.New(), g, p, iters)
+		res, err := PageRank(context.Background(), native.New(), g, p, iters)
 		if err != nil {
 			return false
 		}
@@ -161,7 +162,7 @@ func TestTriangleCountConsistency(t *testing.T) {
 	f := func(seed int64, pRaw uint8) bool {
 		g := randomGraph(seed)
 		p := int(pRaw)%6 + 1
-		res, err := TriangleCount(native.New(), g, p)
+		res, err := TriangleCount(context.Background(), native.New(), g, p)
 		if err != nil {
 			return false
 		}
@@ -188,7 +189,7 @@ func TestAPSPSymmetryOnUndirected(t *testing.T) {
 		g := graph.UniformSparse(n, 3, 30, seed)
 		d := graph.DenseFromCSR(g)
 		p := int(pRaw)%4 + 1
-		res, err := APSP(native.New(), d, p)
+		res, err := APSP(context.Background(), native.New(), d, p)
 		if err != nil {
 			return false
 		}
@@ -217,7 +218,7 @@ func TestTSPBoundIsTour(t *testing.T) {
 		n := rng.Intn(6) + 4
 		cities := graph.Cities(n, seed)
 		p := int(pRaw)%6 + 1
-		res, err := TSP(native.New(), cities, p)
+		res, err := TSP(context.Background(), native.New(), cities, p)
 		if err != nil {
 			return false
 		}
@@ -243,7 +244,7 @@ func TestCommunityPartitionIsValid(t *testing.T) {
 	f := func(seed int64, pRaw uint8) bool {
 		g := randomGraph(seed)
 		p := int(pRaw)%6 + 1
-		res, err := Community(native.New(), g, p, 6)
+		res, err := Community(context.Background(), native.New(), g, p, 6)
 		if err != nil {
 			return false
 		}
@@ -264,7 +265,7 @@ func TestCommunityPartitionIsValid(t *testing.T) {
 func TestDeterministicSingleThread(t *testing.T) {
 	g := graph.UniformSparse(300, 4, 40, 9)
 	run := func() (*SSSPResult, *exec.Report) {
-		res, err := SSSP(native.New(), g, 0, 1)
+		res, err := SSSP(context.Background(), native.New(), g, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,11 +291,11 @@ func TestDeterministicSingleThread(t *testing.T) {
 // on the simulator at one thread.
 func TestInstructionCountsIndependentOfPlatform(t *testing.T) {
 	g := graph.UniformSparse(200, 4, 30, 11)
-	nat, err := BFS(native.New(), g, 0, 1)
+	nat, err := BFS(context.Background(), native.New(), g, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	simr, err := BFS(simMachine(t, 16), g, 0, 1)
+	simr, err := BFS(context.Background(), simMachine(t, 16), g, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

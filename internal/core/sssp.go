@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crono/internal/exec"
@@ -29,8 +30,8 @@ type SSSPResult struct {
 // Fronts are settled Dijkstra-fashion, so every vertex is processed
 // once; the price — as the paper's characterization shows — is a
 // barrier-synchronized round per front, which caps scalability at high
-// thread counts.
-func SSSP(pl exec.Platform, g *graph.CSR, src, threads int) (*SSSPResult, error) {
+// thread counts. Cancellation is polled once per round.
+func SSSP(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int) (*SSSPResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -59,7 +60,7 @@ func SSSP(pl exec.Platform, g *graph.CSR, src, threads int) (*SSSPResult, error)
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		for {
@@ -94,6 +95,9 @@ func SSSP(pl exec.Platform, g *graph.CSR, src, threads int) (*SSSPResult, error)
 			ctx.Barrier(bar)
 			gmin := atomic.LoadInt32(&front)
 			if gmin >= graph.Inf {
+				return
+			}
+			if ctx.Checkpoint() != nil {
 				return
 			}
 			// Phase 2: settle and expand the front.
@@ -141,6 +145,9 @@ func SSSP(pl exec.Platform, g *graph.CSR, src, threads int) (*SSSPResult, error)
 			ctx.Barrier(bar)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var total int64
 	for _, r := range relax {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"crono/internal/exec"
@@ -23,8 +24,9 @@ type TriangleCountResult struct {
 // locks, a barrier follows, and a second statically divided phase
 // enumerates neighbor pairs and updates per-vertex triangle counts under
 // atomic locks. Each triangle {v,u,w} with v<u<w is found exactly once
-// from its smallest vertex.
-func TriangleCount(pl exec.Platform, g *graph.CSR, threads int) (*TriangleCountResult, error) {
+// from its smallest vertex. Cancellation is polled at the phase boundary
+// and periodically within the wedge-closing phase.
+func TriangleCount(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads int) (*TriangleCountResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -42,7 +44,7 @@ func TriangleCount(pl exec.Platform, g *graph.CSR, threads int) (*TriangleCountR
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		// Phase 1: register connections into the global structure.
@@ -61,10 +63,16 @@ func TriangleCount(pl exec.Platform, g *graph.CSR, threads int) (*TriangleCountR
 			ctx.Active(-1)
 		}
 		ctx.Barrier(bar)
+		if ctx.Checkpoint() != nil {
+			return
+		}
 		// Phase 2: enumerate wedges from each vertex's sorted neighbor
 		// list and close them by binary search.
 		ctx.Active(hi - lo)
 		for v := lo; v < hi; v++ {
+			if (v-lo)&255 == 0 && ctx.Checkpoint() != nil {
+				return
+			}
 			ctx.Load(rOff.At(v))
 			ts, _ := g.Neighbors(v)
 			// Only neighbors greater than v: each triangle is counted
@@ -108,6 +116,9 @@ func TriangleCount(pl exec.Platform, g *graph.CSR, threads int) (*TriangleCountR
 			ctx.Active(-1)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var total int64
 	for _, t := range tri {

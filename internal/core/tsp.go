@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -29,8 +30,10 @@ type TSPResult struct {
 // bound (Section III-6): first-level branches (the choice of second city)
 // are designated statically across threads; each thread searches its
 // branches depth first, pruning against a global bound maintained behind
-// an atomic lock.
-func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error) {
+// an atomic lock. Cancellation is polled at the same threshold as bound
+// refreshes and unwinds the recursive search; a canceled run's Cost is
+// discarded, as the search is no longer exact.
+func TSP(goCtx context.Context, pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error) {
 	if cities == nil || cities.N < 2 {
 		return nil, fmt.Errorf("core: TSP needs at least 2 cities")
 	}
@@ -62,7 +65,7 @@ func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error)
 	nodes := make([]int64, threads)
 	globalBound := bound
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		localBound := atomic.LoadInt32(&globalBound)
 		ctx.Load(rBound.At(0))
@@ -71,14 +74,24 @@ func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error)
 		path[0] = 0
 		visited[0] = true
 		sinceCheck := 0
+		aborted := false
 
 		var search func(cost int32, lb int32)
 		search = func(cost int32, lb int32) {
+			if aborted {
+				return
+			}
 			nodes[tid]++
 			ctx.Compute(1)
 			sinceCheck++
 			if sinceCheck >= tspBoundCheckEvery {
 				sinceCheck = 0
+				if ctx.Checkpoint() != nil {
+					// Unwind the recursion; the outer loops observe
+					// aborted and return.
+					aborted = true
+					return
+				}
 				ctx.Load(rBound.At(0))
 				if b := atomic.LoadInt32(&globalBound); b < localBound {
 					localBound = b
@@ -107,6 +120,9 @@ func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error)
 				return
 			}
 			for next := 1; next < n; next++ {
+				if aborted {
+					return
+				}
 				if visited[next] {
 					continue
 				}
@@ -148,6 +164,9 @@ func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error)
 		idx := 0
 		for second := 1; second < n; second++ {
 			for third := 1; third < n; third++ {
+				if aborted {
+					return
+				}
 				if third == second {
 					continue
 				}
@@ -172,6 +191,9 @@ func TSP(pl exec.Platform, cities *graph.Dense, threads int) (*TSPResult, error)
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var total int64
 	for _, c := range nodes {

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"crono/internal/exec"
 	"crono/internal/graph"
 )
+
+// DefaultSSSPDelta is the delta-stepping band width Request.WithDefaults
+// applies when none is given; it matches the sweet spot of the
+// delta-ablation experiment.
+const DefaultSSSPDelta = 32
 
 // This file contains kernel variants beyond the paper's Table I set.
 // They exist for the design-space questions the paper raises: how much of
@@ -20,8 +26,9 @@ import (
 // relaxations for far fewer barrier-synchronized rounds. delta=1 with
 // integer weights degenerates to (a band-exact variant of) the paper's
 // SSSP_DIJK; larger deltas relax the synchronization wall that caps
-// SSSP_DIJK at high thread counts.
-func SSSPDelta(pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*SSSPResult, error) {
+// SSSP_DIJK at high thread counts. Cancellation is polled once per band
+// and once per inner sweep.
+func SSSPDelta(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*SSSPResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -55,10 +62,13 @@ func SSSPDelta(pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		for {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			// Find the next band start among marked vertices.
 			local := graph.Inf
 			for v := lo; v < hi; v++ {
@@ -98,6 +108,9 @@ func SSSPDelta(pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*
 			// Sweep the band to a fixed point: relaxations may re-mark
 			// vertices inside the band.
 			for {
+				if ctx.Checkpoint() != nil {
+					return
+				}
 				changed[tid] = 0
 				if tid == 0 {
 					rounds++
@@ -161,6 +174,10 @@ func SSSPDelta(pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*
 		}
 	})
 
+	if err != nil {
+		return nil, err
+	}
+
 	var total int64
 	for _, r := range relax {
 		total += r
@@ -183,8 +200,8 @@ type BFSTargetResult struct {
 // BFSTarget searches for a target vertex as the paper's Section III-4
 // describes BFS ("the algorithm searches for a target vertex"): a
 // level-synchronous sweep that stops at the level where the target is
-// claimed.
-func BFSTarget(pl exec.Platform, g *graph.CSR, src, target, threads int) (*BFSTargetResult, error) {
+// claimed. Cancellation is polled once per level.
+func BFSTarget(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, target, threads int) (*BFSTargetResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -210,11 +227,14 @@ func BFSTarget(pl exec.Platform, g *graph.CSR, src, target, threads int) (*BFSTa
 	}
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		cur := int32(0)
 		for {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			changed[tid] = 0
 			for v := lo; v < hi; v++ {
 				ctx.Load(rLvl.At(v))
@@ -266,6 +286,10 @@ func BFSTarget(pl exec.Platform, g *graph.CSR, src, target, threads int) (*BFSTa
 		}
 	})
 
+	if err != nil {
+		return nil, err
+	}
+
 	explored := 0
 	for _, l := range level {
 		if l >= 0 {
@@ -291,8 +315,9 @@ type BrandesResult struct {
 // Brandes algorithm: one BFS plus a reverse dependency accumulation per
 // source, sources distributed by vertex capture, centralities merged
 // under per-vertex locks. It is the modern work-efficient counterpart of
-// the paper's matrix-based BETW_CENT.
-func BetweennessBrandes(pl exec.Platform, g *graph.CSR, threads int) (*BrandesResult, error) {
+// the paper's matrix-based BETW_CENT. Cancellation is polled per
+// captured source.
+func BetweennessBrandes(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads int) (*BrandesResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -314,7 +339,7 @@ func BetweennessBrandes(pl exec.Platform, g *graph.CSR, threads int) (*BrandesRe
 		locks[i] = pl.NewLock()
 	}
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		rl := rLoc[tid]
 		distL := make([]int32, n)
@@ -322,6 +347,9 @@ func BetweennessBrandes(pl exec.Platform, g *graph.CSR, threads int) (*BrandesRe
 		delta := make([]float64, n)
 		order := make([]int32, 0, n)
 		for {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			ctx.Lock(capt)
 			ctx.Load(rCur.At(0))
 			s := nextSrc
@@ -388,6 +416,10 @@ func BetweennessBrandes(pl exec.Platform, g *graph.CSR, threads int) (*BrandesRe
 		}
 	})
 
+	if err != nil {
+		return nil, err
+	}
+
 	return &BrandesResult{Centrality: cent, Report: rep}, nil
 }
 
@@ -448,7 +480,8 @@ func BrandesRef(g *graph.CSR) []float64 {
 // the per-edge atomic locks of the paper's push formulation. It computes
 // exactly the same Equation (1) iteration and serves as the
 // software-level answer to the lock bottleneck the paper characterizes.
-func PageRankPull(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
+// Cancellation is polled once per iteration.
+func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -470,10 +503,13 @@ func PageRankPull(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRank
 	rTgt := pl.Alloc("prp.targets", g.M(), 4)
 	bar := pl.NewBarrier(threads)
 
-	rep := pl.Run(threads, func(ctx exec.Ctx) {
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
 		for it := 0; it < iters; it++ {
+			if ctx.Checkpoint() != nil {
+				return
+			}
 			// Publish contributions for this iteration.
 			for v := lo; v < hi; v++ {
 				ctx.Load(rPR.At(v))
@@ -511,6 +547,10 @@ func PageRankPull(pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRank
 			ctx.Barrier(bar)
 		}
 	})
+
+	if err != nil {
+		return nil, err
+	}
 
 	return &PageRankResult{Ranks: pr, Iterations: iters, Report: rep}, nil
 }

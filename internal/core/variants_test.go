@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
 		ref := SSSPRef(g, 0)
 		for _, delta := range []int32{1, 5, 40, 1 << 20} {
 			for _, p := range []int{1, 3, 8} {
-				res, err := SSSPDelta(native.New(), g, 0, p, delta)
+				res, err := SSSPDelta(context.Background(), native.New(), g, 0, p, delta)
 				if err != nil {
 					t.Fatalf("%s d=%d p=%d: %v", name, delta, p, err)
 				}
@@ -30,11 +31,11 @@ func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
 
 func TestSSSPDeltaFewerRoundsThanExact(t *testing.T) {
 	g := graph.RoadNet(2000, 3)
-	exact, err := SSSP(native.New(), g, 0, 4)
+	exact, err := SSSP(context.Background(), native.New(), g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := SSSPDelta(native.New(), g, 0, 4, 64)
+	wide, err := SSSPDelta(context.Background(), native.New(), g, 0, 4, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSSSPDeltaFewerRoundsThanExact(t *testing.T) {
 }
 
 func TestSSSPDeltaRejectsBadDelta(t *testing.T) {
-	if _, err := SSSPDelta(native.New(), pathGraph(4), 0, 1, 0); err == nil {
+	if _, err := SSSPDelta(context.Background(), native.New(), pathGraph(4), 0, 1, 0); err == nil {
 		t.Fatal("delta=0 accepted")
 	}
 }
@@ -54,7 +55,7 @@ func TestBFSTargetFindsLevel(t *testing.T) {
 	ref := BFSRef(g, 0)
 	for _, target := range []int{0, 1, 15, 31} {
 		for _, p := range []int{1, 4} {
-			res, err := BFSTarget(native.New(), g, 0, target, p)
+			res, err := BFSTarget(context.Background(), native.New(), g, 0, target, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,7 +68,7 @@ func TestBFSTargetFindsLevel(t *testing.T) {
 
 func TestBFSTargetEarlyExitExploresLess(t *testing.T) {
 	g := pathGraph(500)
-	near, err := BFSTarget(native.New(), g, 0, 5, 2)
+	near, err := BFSTarget(context.Background(), native.New(), g, 0, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +79,14 @@ func TestBFSTargetEarlyExitExploresLess(t *testing.T) {
 
 func TestBFSTargetUnreachable(t *testing.T) {
 	g := disconnectedGraph()
-	res, err := BFSTarget(native.New(), g, 0, 5, 2) // vertex 5 is isolated
+	res, err := BFSTarget(context.Background(), native.New(), g, 0, 5, 2) // vertex 5 is isolated
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Found || res.Level != -1 {
 		t.Fatalf("found unreachable target: %+v", res)
 	}
-	if _, err := BFSTarget(native.New(), g, 0, 99, 2); err == nil {
+	if _, err := BFSTarget(context.Background(), native.New(), g, 0, 99, 2); err == nil {
 		t.Fatal("out-of-range target accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestBrandesMatchesRef(t *testing.T) {
 	} {
 		ref := BrandesRef(g)
 		for _, p := range []int{1, 4} {
-			res, err := BetweennessBrandes(native.New(), g, p)
+			res, err := BetweennessBrandes(context.Background(), native.New(), g, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +118,7 @@ func TestBrandesPathGraphClosedForm(t *testing.T) {
 	// paths between the i vertices left of it and n-1-i right of it:
 	// BC(i) = 2*i*(n-1-i).
 	n := 9
-	res, err := BetweennessBrandes(native.New(), pathGraph(n), 2)
+	res, err := BetweennessBrandes(context.Background(), native.New(), pathGraph(n), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestPageRankPullMatchesPush(t *testing.T) {
 	for name, g := range testGraphs(t) {
 		push := PageRankRef(g, 8)
 		for _, p := range []int{1, 4} {
-			pull, err := PageRankPull(native.New(), g, p, 8)
+			pull, err := PageRankPull(context.Background(), native.New(), g, p, 8)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -148,11 +149,11 @@ func TestPageRankPullMatchesPush(t *testing.T) {
 
 func TestPageRankPullNoLocks(t *testing.T) {
 	g := graph.UniformSparse(300, 4, 20, 3)
-	push, err := PageRank(simMachine(t, 16), g, 8, 3)
+	push, err := PageRank(context.Background(), simMachine(t, 16), g, 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pull, err := PageRankPull(simMachine(t, 16), g, 8, 3)
+	pull, err := PageRankPull(context.Background(), simMachine(t, 16), g, 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

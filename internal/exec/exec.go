@@ -9,6 +9,8 @@
 // through a detailed multicore timing and energy model.
 package exec
 
+import "context"
+
 // Addr is a logical byte address in the platform's address space. The
 // simulator maps addresses to cache lines, home tiles and memory
 // controllers; the native platform ignores them.
@@ -78,6 +80,14 @@ type Ctx interface {
 	// Active adjusts the global count of active vertices by delta.
 	// It drives the active-vertex telemetry behind Figure 2.
 	Active(delta int)
+	// Checkpoint polls for cooperative cancellation. Kernels call it at
+	// phase boundaries (a BFS level, a PageRank iteration, a captured
+	// vertex) so the hot loop stays annotation-only. A non-nil return is
+	// the run context's error; the kernel body must return immediately
+	// without further synchronization — once any thread observes the
+	// abort, the platform releases every barrier waiter of the run so
+	// all threads reach their own next Checkpoint.
+	Checkpoint() error
 }
 
 // Platform creates platform resources and runs parallel regions.
@@ -94,8 +104,17 @@ type Platform interface {
 	NewBarrier(parties int) Barrier
 	// Run executes body on the given number of threads and returns the
 	// run report. Run may be called multiple times; completion time is
-	// measured for the parallel region only, as in the paper.
+	// measured for the parallel region only, as in the paper. It is
+	// RunCtx with a background (never-canceled) context.
 	Run(threads int, body func(Ctx)) *Report
+	// RunCtx executes body on the given number of threads under ctx.
+	// Cancellation is cooperative: when ctx is canceled or its deadline
+	// expires, the next Ctx.Checkpoint any thread reaches returns the
+	// context error, every barrier waiter of the run is released, and
+	// once all threads have returned RunCtx reports (nil, ctx.Err()),
+	// discarding the partial counters. A ctx that is never canceled
+	// yields exactly Run's behavior.
+	RunCtx(ctx context.Context, threads int, body func(Ctx)) (*Report, error)
 }
 
 // BreakdownComponent enumerates the completion-time components of

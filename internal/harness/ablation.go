@@ -22,7 +22,11 @@ func (c *Config) runWith(b core.Benchmark, in core.Input, threads int, mutate fu
 	if err != nil {
 		return nil, err
 	}
-	return b.Run(m, in, threads)
+	res, err := b.Run(c.ctx(), m, core.Request{Input: in, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }
 
 // RunAblationDirectory compares the Table II ACKWise-4 limited directory
@@ -227,7 +231,7 @@ func RunAblationFormulation(cfg *Config) error {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.PageRank(m, in.G, p, core.DefaultPageRankIters)
+		r, err := core.PageRank(cfg.ctx(), m, in.G, p, core.DefaultPageRankIters)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +242,7 @@ func RunAblationFormulation(cfg *Config) error {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.PageRankPull(m, in.G, p, core.DefaultPageRankIters)
+		r, err := core.PageRankPull(cfg.ctx(), m, in.G, p, core.DefaultPageRankIters)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +267,7 @@ func RunAblationFormulation(cfg *Config) error {
 	if err != nil {
 		return err
 	}
-	exact, err := core.SSSP(mExact, in.G, 0, ps)
+	exact, err := core.SSSP(cfg.ctx(), mExact, in.G, 0, ps)
 	if err != nil {
 		return err
 	}
@@ -271,7 +275,7 @@ func RunAblationFormulation(cfg *Config) error {
 	if err != nil {
 		return err
 	}
-	wide, err := core.SSSPDelta(mDelta, in.G, 0, ps, 32)
+	wide, err := core.SSSPDelta(cfg.ctx(), mDelta, in.G, 0, ps, core.DefaultSSSPDelta)
 	if err != nil {
 		return err
 	}
@@ -303,7 +307,7 @@ func RunAblationReorder(cfg *Config) error {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.PageRank(m, gr, p, core.DefaultPageRankIters)
+		r, err := core.PageRank(cfg.ctx(), m, gr, p, core.DefaultPageRankIters)
 		if err != nil {
 			return nil, err
 		}

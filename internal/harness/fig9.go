@@ -70,7 +70,7 @@ func RunFig9(cfg *Config) error {
 		for _, p := range fig9Threads {
 			best := ^uint64(0)
 			for r := 0; r < 3; r++ { // best of three smooths host noise
-				rep, err := runNative(b, in, p)
+				rep, err := cfg.runNative(b, in, p)
 				if err != nil {
 					return err
 				}
@@ -113,10 +113,11 @@ func RunFig9(cfg *Config) error {
 			if err != nil {
 				return err
 			}
-			rep, err := b.Run(m, in, p)
+			res, err := b.Run(cfg.ctx(), m, core.Request{Input: in, Threads: p})
 			if err != nil {
 				return err
 			}
+			rep := res.Report
 			if p == 1 {
 				seq = rep.Time
 			}

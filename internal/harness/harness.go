@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +25,11 @@ import (
 type Config struct {
 	// Out receives the experiment's report.
 	Out io.Writer
+	// Ctx, when non-nil, cancels in-flight kernels between phases: an
+	// experiment run aborted by SIGINT or a --timeout deadline returns
+	// the context's error instead of running its remaining kernels to
+	// completion. Nil means never canceled.
+	Ctx context.Context
 	// Scale multiplies the default input sizes (1.0 = the scaled-down
 	// defaults documented in DESIGN.md; the paper's full-size inputs
 	// correspond to roughly Scale=64 for the sparse graph).
@@ -243,16 +249,32 @@ func (c *Config) emit(name string, t *stats.Table) error {
 	return t.CSV(f)
 }
 
+// ctx returns the experiment context, defaulting to Background.
+func (c *Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
 // runSim executes benchmark b on a fresh Table II machine.
 func (c *Config) runSim(b core.Benchmark, in core.Input, threads int, ct sim.CoreType) (*exec.Report, error) {
 	m, err := c.newSim(ct)
 	if err != nil {
 		return nil, err
 	}
-	return b.Run(m, in, threads)
+	res, err := b.Run(c.ctx(), m, core.Request{Input: in, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }
 
 // runNative executes benchmark b on the host.
-func runNative(b core.Benchmark, in core.Input, threads int) (*exec.Report, error) {
-	return b.Run(native.New(), in, threads)
+func (c *Config) runNative(b core.Benchmark, in core.Input, threads int) (*exec.Report, error) {
+	res, err := b.Run(c.ctx(), native.New(), core.Request{Input: in, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }

@@ -1,0 +1,87 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crono/internal/exec"
+)
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	p := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	rep, err := p.RunCtx(ctx, 4, func(exec.Ctx) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("report %+v returned for canceled run", rep)
+	}
+	if ran {
+		t.Fatal("body ran despite pre-canceled context")
+	}
+}
+
+func TestRunCtxCancelReleasesBarrierWaiters(t *testing.T) {
+	p := New()
+	bar := p.NewBarrier(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.RunCtx(ctx, 8, func(c exec.Ctx) {
+			if c.TID() == 0 {
+				close(started)
+			}
+			for {
+				c.Compute(1)
+				c.Barrier(bar)
+				if c.Checkpoint() != nil {
+					return
+				}
+			}
+		})
+		done <- err
+	}()
+
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abort within 10s: barrier waiters not released")
+	}
+}
+
+func TestRunCtxNilContextMeansBackground(t *testing.T) {
+	p := New()
+	//nolint:staticcheck // nil context is part of the documented contract
+	rep, err := p.RunCtx(nil, 2, func(c exec.Ctx) { c.Compute(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Threads != 2 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}
+
+func TestRunDelegatesToNeverCanceledRunCtx(t *testing.T) {
+	p := New()
+	rep := p.Run(3, func(c exec.Ctx) {
+		if c.Checkpoint() != nil {
+			t.Error("Checkpoint fired under Run")
+		}
+		c.Compute(1)
+	})
+	if rep == nil || rep.Threads != 3 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@
 package native
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -57,37 +58,38 @@ type nativeLock struct{ mu sync.Mutex }
 // NewLock implements exec.Platform.
 func (p *Platform) NewLock() exec.Lock { return &nativeLock{} }
 
-// nativeBarrier is a reusable generation-counted barrier.
+// nativeBarrier is a reusable generation-based barrier. Each generation
+// is a channel closed by the last arriver; waiters also select on the
+// run's abort channel so a canceled run releases every waiter instead of
+// deadlocking on threads that already exited at a checkpoint.
 type nativeBarrier struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	parties int
 	waiting int
-	gen     uint64
+	relCh   chan struct{}
 }
 
 // NewBarrier implements exec.Platform.
 func (p *Platform) NewBarrier(parties int) exec.Barrier {
-	b := &nativeBarrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &nativeBarrier{parties: parties, relCh: make(chan struct{})}
 }
 
-func (b *nativeBarrier) wait() {
+func (b *nativeBarrier) wait(abort <-chan struct{}) {
 	b.mu.Lock()
-	gen := b.gen
+	ch := b.relCh
 	b.waiting++
 	if b.waiting == b.parties {
 		b.waiting = 0
-		b.gen++
+		b.relCh = make(chan struct{})
 		b.mu.Unlock()
-		b.cond.Broadcast()
+		close(ch)
 		return
 	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
 	b.mu.Unlock()
+	select {
+	case <-ch:
+	case <-abort:
+	}
 }
 
 // pad separates per-thread hot counters onto distinct cache lines.
@@ -110,7 +112,15 @@ type ctx struct {
 type runState struct {
 	startNs int64
 	measure bool
+	// cause is the run's context; Checkpoint polls cause.Err.
+	cause context.Context
+	// abort is closed by the first thread whose Checkpoint observes
+	// cancellation; barrier waits select on it.
+	abort chan struct{}
+	once  sync.Once
 }
+
+func (r *runState) trip() { r.once.Do(func() { close(r.abort) }) }
 
 var _ exec.Ctx = (*ctx)(nil)
 
@@ -153,8 +163,17 @@ func (c *ctx) Unlock(l exec.Lock) {
 func (c *ctx) Barrier(b exec.Barrier) {
 	nb := b.(*nativeBarrier)
 	t0 := time.Now()
-	nb.wait()
+	nb.wait(c.run.abort)
 	c.st.syncNs += uint64(time.Since(t0))
+}
+
+// Checkpoint implements exec.Ctx: a non-blocking poll of the run context.
+func (c *ctx) Checkpoint() error {
+	if err := c.run.cause.Err(); err != nil {
+		c.run.trip()
+		return err
+	}
+	return nil
 }
 
 // Active records the delta against wall time; the global active-vertex
@@ -171,10 +190,28 @@ func (c *ctx) Active(delta int) {
 
 // Run implements exec.Platform. It measures the parallel region only.
 func (p *Platform) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	rep, _ := p.RunCtx(context.Background(), threads, body)
+	return rep
+}
+
+// RunCtx implements exec.Platform. On cancellation all threads unwind at
+// their next checkpoint (barrier waiters are released first) and the
+// partial report is discarded.
+func (p *Platform) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)) (*exec.Report, error) {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
 	if threads < 1 {
 		threads = 1
 	}
-	run := &runState{measure: p.MeasureLockWait}
+	run := &runState{
+		measure: p.MeasureLockWait,
+		cause:   goCtx,
+		abort:   make(chan struct{}),
+	}
 	states := make([]threadState, threads)
 	var wg sync.WaitGroup
 	wg.Add(threads)
@@ -189,6 +226,9 @@ func (p *Platform) Run(threads int, body func(exec.Ctx)) *exec.Report {
 		}(t)
 	}
 	wg.Wait()
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
 	elapsed := uint64(time.Since(start))
 
 	rep := &exec.Report{
@@ -212,7 +252,7 @@ func (p *Platform) Run(threads int, body func(exec.Ctx)) *exec.Report {
 	if total > syncNs {
 		rep.Breakdown[exec.CompCompute] = total - syncNs
 	}
-	return rep
+	return rep, nil
 }
 
 // reconstructTrace merges per-thread delta samples by time, prefix-sums

@@ -53,6 +53,14 @@ type runRequest struct {
 	Threads  int    `json:"threads,omitempty"`
 	// Source is the start vertex of SSSP/BFS/DFS.
 	Source int `json:"source,omitempty"`
+	// Iters bounds PageRank iterations (0 = kernel default).
+	Iters int `json:"iters,omitempty"`
+	// MaxPasses bounds COMM move sweeps (0 = kernel default).
+	MaxPasses int `json:"maxPasses,omitempty"`
+	// Delta is the SSSP_DELTA band width (0 = kernel default).
+	Delta int32 `json:"delta,omitempty"`
+	// Target is the BFS_TARGET destination vertex.
+	Target int `json:"target,omitempty"`
 	// Cities and Seed parametrize TSP, which takes no graph.
 	Cities int   `json:"cities,omitempty"`
 	Seed   int64 `json:"seed,omitempty"`
@@ -274,6 +282,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "threads %d out of range [1, %d]", req.Threads, s.cfg.MaxThreads)
 		return
 	}
+	if req.Iters < 0 || req.MaxPasses < 0 || req.Delta < 0 {
+		writeError(w, http.StatusBadRequest, "iters, maxPasses and delta must be >= 0 (0 = default)")
+		return
+	}
 	if req.SimCores == 0 {
 		req.SimCores = s.cfg.SimCores
 	}
@@ -303,6 +315,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "source %d out of range [0, %d)", req.Source, sg.Graph.N)
 			return
 		}
+		if req.Target < 0 || req.Target >= sg.Graph.N {
+			writeError(w, http.StatusBadRequest, "target %d out of range [0, %d)", req.Target, sg.Graph.N)
+			return
+		}
 		if bench.UsesMatrix {
 			if sg.Graph.N > s.cfg.MaxDenseVertices {
 				writeError(w, http.StatusUnprocessableEntity,
@@ -317,8 +333,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		inputKey = sg.ID
 	}
 
-	key := fmt.Sprintf("run|%s|%s|%s|t=%d|src=%d|cores=%d|ooo=%t",
-		inputKey, bench.Name, req.Platform, req.Threads, req.Source, req.SimCores, req.OutOfOrder)
+	key := fmt.Sprintf("run|%s|%s|%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
+		inputKey, bench.Name, req.Platform, req.Threads, req.Source,
+		req.Iters, req.MaxPasses, req.Delta, req.Target, req.SimCores, req.OutOfOrder)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -355,6 +372,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &resp)
 }
 
+// errReason maps a run failure to the crono_run_errors_total reason label.
+func errReason(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
 // execute builds the platform, runs the kernel on the worker pool and
 // shapes the response. It is called exactly once per cache key by
 // Cache.Do; concurrent identical requests coalesce onto its result.
@@ -376,8 +405,16 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 		pl = m
 	}
 
+	creq := core.Request{
+		Input:     in,
+		Threads:   req.Threads,
+		Iters:     req.Iters,
+		MaxPasses: req.MaxPasses,
+		Delta:     req.Delta,
+		Target:    req.Target,
+	}
 	var (
-		rep    *exec.Report
+		res    *core.Result
 		runErr error
 		wall   time.Duration
 		done   = make(chan struct{})
@@ -385,7 +422,11 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 	if err := s.pool.Submit(ctx, func() {
 		defer close(done)
 		start := time.Now()
-		rep, runErr = bench.Run(pl, in, req.Threads)
+		// The request context reaches the kernel's Checkpoint polls: a
+		// canceled or deadlined request aborts the run within one kernel
+		// round, freeing this worker slot long before the kernel would
+		// have completed.
+		res, runErr = bench.Run(ctx, pl, creq)
 		wall = time.Since(start)
 	}); err != nil {
 		return nil, err
@@ -393,13 +434,16 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// The kernel (if already running) completes on the worker and is
-		// discarded; the queue slot frees itself.
+		// The kernel aborts at its next checkpoint; the worker discards
+		// the partial run and the queue slot frees itself.
+		s.m.runErrors(bench.Name, errReason(ctx.Err())).Inc()
 		return nil, ctx.Err()
 	}
 	if runErr != nil {
+		s.m.runErrors(bench.Name, errReason(runErr)).Inc()
 		return nil, runErr
 	}
+	rep := res.Report
 	s.m.runs(bench.Name).Inc()
 	s.m.latency(bench.Name, req.Platform).Observe(wall.Seconds())
 

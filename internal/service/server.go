@@ -115,6 +115,7 @@ type serverMetrics struct {
 	requests  func(path string, code int) *Counter
 	shed      *Counter
 	runs      func(kernel string) *Counter
+	runErrors func(kernel, reason string) *Counter
 	latency   func(kernel, platform string) *Histogram
 	cacheHit  *Counter
 	cacheMiss *Counter
@@ -162,6 +163,12 @@ func (s *Server) newMetrics() *serverMetrics {
 		return reg.Counter("crono_kernel_runs_total",
 			"Kernel executions (cache misses that reached a worker).",
 			Label{"kernel", kernel})
+	}
+	m.runErrors = func(kernel, reason string) *Counter {
+		return reg.Counter("crono_run_errors_total",
+			"Kernel executions that did not produce a result, by reason "+
+				"(canceled, deadline or error).",
+			Label{"kernel", kernel}, Label{"reason", reason})
 	}
 	m.latency = func(kernel, platform string) *Histogram {
 		return reg.Histogram("crono_run_duration_seconds",

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"crono/internal/exec"
+)
+
+// TestRunCtxPreCanceled: a context canceled before RunCtx must fail fast
+// without spawning any thread.
+func TestRunCtxPreCanceled(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	rep, err := m.RunCtx(ctx, 4, func(exec.Ctx) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("report %+v returned for canceled run", rep)
+	}
+	if ran {
+		t.Fatal("body ran despite pre-canceled context")
+	}
+}
+
+// TestRunCtxCancelMidFlight: canceling while every thread loops through a
+// barrier must release all barrier waiters (no deadlock) and surface
+// context.Canceled promptly.
+func TestRunCtxCancelMidFlight(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	bar := m.NewBarrier(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.RunCtx(ctx, 8, func(c exec.Ctx) {
+			if c.TID() == 0 {
+				close(started)
+			}
+			for {
+				c.Compute(1)
+				c.Barrier(bar)
+				if c.Checkpoint() != nil {
+					return
+				}
+			}
+		})
+		done <- err
+	}()
+
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abort within 10s: barrier waiters not released")
+	}
+}
+
+// TestRunCtxDeadline: a deadline that expires mid-run surfaces
+// context.DeadlineExceeded.
+func TestRunCtxDeadline(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	bar := m.NewBarrier(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := m.RunCtx(ctx, 4, func(c exec.Ctx) {
+		for {
+			c.Compute(1)
+			c.Barrier(bar)
+			if c.Checkpoint() != nil {
+				return
+			}
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxCancelLeaksNoGoroutines: after an aborted run returns, every
+// simulated thread goroutine must have exited.
+func TestRunCtxCancelLeaksNoGoroutines(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		bar := m.NewBarrier(8)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		_, err := m.RunCtx(ctx, 8, func(c exec.Ctx) {
+			for {
+				c.Compute(1)
+				c.Barrier(bar)
+				if c.Checkpoint() != nil {
+					return
+				}
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	// RunCtx waits on its WaitGroup, so the workers are already gone;
+	// allow a little slack for unrelated runtime goroutines.
+	time.Sleep(20 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d: aborted runs leak threads", before, after)
+	}
+}
+
+// TestRunCtxCompletedRunKeepsResult: a context canceled only after the
+// run finishes must not retroactively fail it... but canceling during is
+// the contract; here the context stays live and the run succeeds.
+func TestRunCtxLiveContextSucceeds(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := m.RunCtx(ctx, 4, func(c exec.Ctx) { c.Compute(10) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Threads != 4 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}
+
+// TestCheckpointFreeInVirtualTime: Checkpoint itself must not advance the
+// simulated clock; a body with N checkpoints costs the same as without.
+func TestCheckpointFreeInVirtualTime(t *testing.T) {
+	run := func(poll bool) uint64 {
+		m := mustMachine(t, smallConfig())
+		rep, err := m.RunCtx(context.Background(), 2, func(c exec.Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Compute(3)
+				if poll && c.Checkpoint() != nil {
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Time
+	}
+	if with, without := run(true), run(false); with != without {
+		t.Fatalf("checkpoints charged simulated time: %d vs %d cycles", with, without)
+	}
+}

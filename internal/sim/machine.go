@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,12 +59,28 @@ type Machine struct {
 	dbgThrottleSlow  atomic.Uint64
 	dbgThrottleSleep atomic.Uint64
 
+	// run is the cancellation state of the in-flight parallel region.
+	// A Machine executes one Run at a time (Run resets nows/winMin), so a
+	// plain field suffices.
+	run *runControl
+
 	lineBits       uint
 	barrierArrival uint64 // serialized cost per barrier arrival
 	barrierRelease uint64 // barrier release broadcast cost
 }
 
 var _ exec.Platform = (*Machine)(nil)
+
+// runControl carries one run's cooperative-cancellation state: the run
+// context polled by Checkpoint and an abort channel, closed once, that
+// releases barrier waiters and throttle sleepers when the run dies.
+type runControl struct {
+	cause context.Context
+	abort chan struct{}
+	once  sync.Once
+}
+
+func (rc *runControl) trip() { rc.once.Do(func() { close(rc.abort) }) }
 
 // New builds a machine from cfg (use Default() for Table II).
 func New(cfg Config) (*Machine, error) {
@@ -249,21 +266,31 @@ func (m *Machine) NewLock() exec.Lock {
 }
 
 type simBarrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	parties  int
-	waiting  int
-	gen      uint64
-	maxArr   uint64
-	releases [2]uint64 // release virtual time by generation parity
-	cost     uint64
+	mu      sync.Mutex
+	parties int
+	cost    uint64
+	gen     *barrierGen
+}
+
+// barrierGen is one barrier generation. The last arriver stamps release
+// (the reconciled virtual time all parties resume at) and closes ch;
+// waiters select on ch and on the run's abort channel, so a canceled run
+// releases every waiter even when some parties already exited at a
+// checkpoint and will never arrive.
+type barrierGen struct {
+	waiting int
+	maxArr  uint64
+	release uint64
+	ch      chan struct{}
 }
 
 // NewBarrier implements exec.Platform.
 func (m *Machine) NewBarrier(parties int) exec.Barrier {
-	b := &simBarrier{parties: parties, cost: uint64(parties)*m.barrierArrival + m.barrierRelease}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &simBarrier{
+		parties: parties,
+		cost:    uint64(parties)*m.barrierArrival + m.barrierRelease,
+		gen:     &barrierGen{ch: make(chan struct{})},
+	}
 }
 
 // ctx is the per-thread simulation context. Its virtual clock (now)
@@ -316,6 +343,12 @@ func (c *ctx) throttle() {
 	backoff := 20 * time.Microsecond
 	const maxBackoff = 5 * time.Millisecond
 	for {
+		select {
+		case <-m.run.abort:
+			// A dying run will never advance the laggards' clocks.
+			return
+		default:
+		}
 		min := blockedClock
 		for t := range m.nows {
 			if v := m.nows[t].Load(); v < min {
@@ -344,6 +377,18 @@ func (m *Machine) DebugThrottle() (slowChecks, sleeps uint64) {
 
 func (c *ctx) TID() int     { return c.tid }
 func (c *ctx) Threads() int { return c.threads }
+
+// Checkpoint implements exec.Ctx: a non-blocking poll of the run context.
+// Simulated time is not charged; cancellation is a harness-control event,
+// not part of the modeled kernel.
+func (c *ctx) Checkpoint() error {
+	rc := c.m.run
+	if err := rc.cause.Err(); err != nil {
+		rc.trip()
+		return err
+	}
+	return nil
+}
 
 // Compute models n single-cycle pipeline instructions.
 func (c *ctx) Compute(n int) {
@@ -824,29 +869,30 @@ func (c *ctx) Barrier(b exec.Barrier) {
 	}
 	c.m.nows[c.tid].Store(blockedClock)
 	sb.mu.Lock()
-	gen := sb.gen
-	if c.now > sb.maxArr {
-		sb.maxArr = c.now
+	g := sb.gen
+	if c.now > g.maxArr {
+		g.maxArr = c.now
 	}
-	sb.waiting++
-	if sb.waiting == sb.parties {
-		release := sb.maxArr + sb.cost
-		sb.releases[gen%2] = release
-		sb.waiting = 0
-		sb.maxArr = 0
-		sb.gen++
+	g.waiting++
+	if g.waiting == sb.parties {
+		g.release = g.maxArr + sb.cost
+		sb.gen = &barrierGen{ch: make(chan struct{})}
 		sb.mu.Unlock()
-		sb.cond.Broadcast()
+		close(g.ch)
 	} else {
-		for gen == sb.gen {
-			sb.cond.Wait()
-		}
 		sb.mu.Unlock()
+		select {
+		case <-g.ch:
+		case <-c.m.run.abort:
+			// The run died: resume without virtual-time reconciliation
+			// so this thread reaches its next checkpoint and exits.
+			c.publish()
+			return
+		}
 	}
-	release := sb.releases[gen%2]
-	if release > c.now {
-		c.brk[exec.CompSync] += release - c.now
-		c.now = release
+	if g.release > c.now {
+		c.brk[exec.CompSync] += g.release - c.now
+		c.now = g.release
 	}
 	c.publish()
 }
@@ -865,12 +911,28 @@ func (c *ctx) Active(delta int) {
 // Run implements exec.Platform. Threads map one-to-one onto cores
 // 0..threads-1; thread counts beyond the core count are rejected.
 func (m *Machine) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	rep, _ := m.RunCtx(context.Background(), threads, body)
+	return rep
+}
+
+// RunCtx implements exec.Platform. On cancellation the lax-sync barrier
+// releases all waiters, window throttling stops sleeping, every thread
+// unwinds at its next checkpoint, and the partial timing model state of
+// the run is discarded.
+func (m *Machine) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)) (*exec.Report, error) {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
 	if threads < 1 {
 		threads = 1
 	}
 	if threads > m.cfg.Cores {
 		panic(fmt.Sprintf("sim: %d threads exceed %d cores", threads, m.cfg.Cores))
 	}
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
+	m.run = &runControl{cause: goCtx, abort: make(chan struct{})}
 	ctxs := make([]*ctx, threads)
 	m.nows = make([]atomic.Uint64, threads)
 	m.winMin.Store(0)
@@ -886,6 +948,10 @@ func (m *Machine) Run(threads int, body func(exec.Ctx)) *exec.Report {
 		}(ctxs[t])
 	}
 	wg.Wait()
+	if err := goCtx.Err(); err != nil {
+		m.extra = energy.Counter{}
+		return nil, err
+	}
 
 	rep := &exec.Report{
 		Platform:     m.Name(),
@@ -916,7 +982,7 @@ func (m *Machine) Run(threads int, body func(exec.Ctx)) *exec.Report {
 	rep.Energy = m.cfg.Energy.Breakdown(events)
 	rep.NetworkFlitHops = events.FlitHops
 	m.extra = energy.Counter{}
-	return rep
+	return rep, nil
 }
 
 // reconstructTrace merges per-thread delta samples by virtual time,

@@ -11,6 +11,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -176,14 +177,22 @@ func (c *recCtx) Active(delta int) {
 // Run implements exec.Platform: the kernel executes natively while each
 // thread's annotations are captured.
 func (r *Recorder) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	rep, _ := r.RunCtx(context.Background(), threads, body)
+	return rep
+}
+
+// RunCtx implements exec.Platform. Checkpoint polling is inherited from
+// the inner native context (checkpoints are control flow, not annotation
+// events, so they are not recorded). A canceled recording leaves the
+// partial streams behind; do not Trace() an aborted run.
+func (r *Recorder) RunCtx(ctx context.Context, threads int, body func(exec.Ctx)) (*exec.Report, error) {
 	if threads < 1 {
 		threads = 1
 	}
 	r.streams = make([][]record, threads)
-	rep := r.inner.Run(threads, func(inner exec.Ctx) {
+	return r.inner.RunCtx(ctx, threads, func(inner exec.Ctx) {
 		body(&recCtx{Ctx: inner, r: r, stream: &r.streams[inner.TID()]})
 	})
-	return rep
 }
 
 // Trace returns the captured trace. Call after Run.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestRecordReplayMatchesDirectSimulation(t *testing.T) {
 	g := graph.UniformSparse(300, 4, 30, 5)
 
 	rec := NewRecorder()
-	natRes, err := core.BFS(rec, g, 0, 4)
+	natRes, err := core.BFS(context.Background(), rec, g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRecordReplayMatchesDirectSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	directRes, err := core.BFS(simFor(t), g, 0, 4)
+	directRes, err := core.BFS(context.Background(), simFor(t), g, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRecordReplayMatchesDirectSimulation(t *testing.T) {
 func TestTraceSerializationRoundTrip(t *testing.T) {
 	g := graph.UniformSparse(120, 3, 20, 9)
 	rec := NewRecorder()
-	if _, err := core.SSSP(rec, g, 0, 3); err != nil {
+	if _, err := core.SSSP(context.Background(), rec, g, 0, 3); err != nil {
 		t.Fatal(err)
 	}
 	tr := rec.Trace()
@@ -115,7 +116,7 @@ func TestReadRejectsCorruptTraces(t *testing.T) {
 	// Bad op code.
 	g := graph.UniformSparse(40, 2, 10, 1)
 	rec := NewRecorder()
-	if _, err := core.BFS(rec, g, 0, 2); err != nil {
+	if _, err := core.BFS(context.Background(), rec, g, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -145,7 +146,7 @@ func TestRecorderAgainstAllKernels(t *testing.T) {
 	}
 	for _, b := range core.Suite() {
 		rec := NewRecorder()
-		if _, err := b.Run(rec, in, 3); err != nil {
+		if _, err := b.RunReport(rec, in, 3); err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
 		tr := rec.Trace()
