@@ -1,0 +1,263 @@
+// Command crono-bench times the scan and frontier execution strategies
+// of the graph-division kernels on the stock generators and emits a
+// BENCH_kernels.json perf-trajectory artifact. It is the regression
+// guard for the frontier fast path: -assert pins minimum frontier
+// speedups and fails the run (exit 1) when one is not met.
+//
+// Usage:
+//
+//	crono-bench                            # default spec matrix
+//	crono-bench -spec BFS:road-ca:1048576 -assert BFS:road-ca:2.0
+//	crono-bench -spec BFS:sparse:65536,CONN_COMP:road-tx:65536 -reps 5
+//
+// Each -spec entry is kernel:graph:n; each -assert entry is
+// kernel:graph:minSpeedup and must name a spec that ran.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crono/internal/core"
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// defaultSpec sizes each kernel so the whole run stays in CI-smoke
+// territory at -reps 1 while the road-network BFS entry is big enough
+// (1M vertices) to expose the asymptotic scan-vs-frontier gap.
+const defaultSpec = "BFS:road-ca:1048576,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768"
+
+type benchResult struct {
+	Kernel     string `json:"kernel"`
+	Graph      string `json:"graph"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Threads    int    `json:"threads"`
+	ScanNs     uint64 `json:"scanNs"`
+	FrontierNs uint64 `json:"frontierNs"`
+	// Speedup is scan time over frontier time; > 1 means the frontier
+	// strategy is faster.
+	Speedup float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Suite    string        `json:"suite"`
+	Platform string        `json:"platform"`
+	Threads  int           `json:"threads"`
+	Reps     int           `json:"reps"`
+	Seed     int64         `json:"seed"`
+	Results  []benchResult `json:"results"`
+}
+
+type spec struct {
+	kernel string
+	graph  string
+	n      int
+}
+
+type assertion struct {
+	kernel string
+	graph  string
+	min    float64
+}
+
+func main() {
+	var (
+		specFlag   = flag.String("spec", defaultSpec, "comma-separated kernel:graph:n entries to time")
+		assertFlag = flag.String("assert", "", "comma-separated kernel:graph:minSpeedup entries that must hold")
+		threads    = flag.Int("threads", 8, "thread count for both strategies")
+		reps       = flag.Int("reps", 3, "repetitions per strategy; the minimum time wins")
+		seed       = flag.Int64("seed", 42, "graph generator seed")
+		out        = flag.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+
+	specs, err := parseSpecs(*specFlag)
+	if err != nil {
+		fatal(err)
+	}
+	asserts, err := parseAsserts(*assertFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := benchReport{
+		Suite:    "crono-bench",
+		Platform: "native",
+		Threads:  *threads,
+		Reps:     *reps,
+		Seed:     *seed,
+	}
+	ctx := context.Background()
+	for _, sp := range specs {
+		bench, err := core.ByName(sp.kernel)
+		if err != nil {
+			fatal(err)
+		}
+		g := graph.Generate(graph.Kind(sp.graph), sp.n, *seed)
+		fmt.Fprintf(os.Stderr, "bench %s on %s n=%d m=%d threads=%d\n",
+			sp.kernel, sp.graph, g.N, g.M(), *threads)
+		scanNs, err := timeStrategy(ctx, bench, g, core.StrategyScan, *threads, *reps)
+		if err != nil {
+			fatal(fmt.Errorf("%s/%s scan: %w", sp.kernel, sp.graph, err))
+		}
+		frontierNs, err := timeStrategy(ctx, bench, g, core.StrategyFrontier, *threads, *reps)
+		if err != nil {
+			fatal(fmt.Errorf("%s/%s frontier: %w", sp.kernel, sp.graph, err))
+		}
+		r := benchResult{
+			Kernel:     sp.kernel,
+			Graph:      sp.graph,
+			N:          g.N,
+			M:          g.M(),
+			Threads:    *threads,
+			ScanNs:     scanNs,
+			FrontierNs: frontierNs,
+		}
+		if frontierNs > 0 {
+			r.Speedup = float64(scanNs) / float64(frontierNs)
+		}
+		fmt.Fprintf(os.Stderr, "  scan %d ns, frontier %d ns, speedup %.2fx\n",
+			scanNs, frontierNs, r.Speedup)
+		rep.Results = append(rep.Results, r)
+	}
+
+	if err := writeReport(*out, &rep); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, a := range asserts {
+		got, ok := findSpeedup(rep.Results, a.kernel, a.graph)
+		if !ok {
+			fatal(fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph))
+		}
+		if got < a.min {
+			failed = true
+			fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s speedup %.2fx < required %.2fx\n",
+				a.kernel, a.graph, got, a.min)
+		} else {
+			fmt.Fprintf(os.Stderr, "assert ok: %s on %s speedup %.2fx >= %.2fx\n",
+				a.kernel, a.graph, got, a.min)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// timeStrategy runs the kernel reps times and returns the minimum
+// parallel-region time — the paper's completion-time metric, which
+// excludes graph generation and result post-processing.
+func timeStrategy(ctx context.Context, bench core.Benchmark, g *graph.CSR, st core.Strategy, threads, reps int) (uint64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best uint64
+	for i := 0; i < reps; i++ {
+		res, err := bench.Run(ctx, native.New(), core.Request{
+			Input:    core.Input{G: g},
+			Threads:  threads,
+			Strategy: st,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if t := res.Report.Time; i == 0 || t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+func parseSpecs(s string) ([]spec, error) {
+	var out []spec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("spec %q: want kernel:graph:n", part)
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("spec %q: bad vertex count %q", part, f[2])
+		}
+		if !knownKind(f[1]) {
+			return nil, fmt.Errorf("spec %q: unknown graph kind %q", part, f[1])
+		}
+		out = append(out, spec{kernel: f[0], graph: f[1], n: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -spec")
+	}
+	return out, nil
+}
+
+func parseAsserts(s string) ([]assertion, error) {
+	var out []assertion
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("assert %q: want kernel:graph:minSpeedup", part)
+		}
+		min, err := strconv.ParseFloat(f[2], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("assert %q: bad speedup %q", part, f[2])
+		}
+		out = append(out, assertion{kernel: f[0], graph: f[1], min: min})
+	}
+	return out, nil
+}
+
+func knownKind(k string) bool {
+	for _, kind := range graph.Kinds {
+		if graph.Kind(k) == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func findSpeedup(rs []benchResult, kernel, g string) (float64, bool) {
+	for _, r := range rs {
+		if r.Kernel == kernel && r.Graph == g {
+			return r.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+func writeReport(path string, rep *benchReport) error {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crono-bench:", err)
+	os.Exit(1)
+}

@@ -42,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generator seed")
 		cities    = flag.Int("cities", 12, "TSP city count")
 		source    = flag.Int("source", 0, "source vertex for SSSP/BFS/DFS")
+		strategy  = flag.String("strategy", "scan", "execution strategy for BFS/SSSP_DIJK/CONN_COMP/COMM: scan (paper-faithful) or frontier (compact worklist)")
 		cores     = flag.Int("cores", 256, "simulated core count (sim platform)")
 		ooo       = flag.Bool("ooo", false, "simulate out-of-order cores")
 		jsonOut   = flag.Bool("json", false, "emit the full report as JSON")
@@ -65,7 +66,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *benchName, *platform, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
+	if err := run(ctx, *benchName, *platform, *strategy, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "crono: interrupted")
 		} else if errors.Is(err, context.DeadlineExceeded) {
@@ -77,7 +78,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, benchName, platform string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
+func run(ctx context.Context, benchName, platform, strategy string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
 	b, err := core.ByName(benchName)
 	if err != nil {
 		return err
@@ -120,7 +121,7 @@ func run(ctx context.Context, benchName, platform string, threads, n int, kind, 
 		return fmt.Errorf("unknown platform %q (want sim or native)", platform)
 	}
 
-	res, err := b.Run(ctx, pl, core.Request{Input: in, Threads: threads})
+	res, err := b.Run(ctx, pl, core.Request{Input: in, Threads: threads, Strategy: core.Strategy(strategy)})
 	if err != nil {
 		return err
 	}

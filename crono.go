@@ -101,6 +101,23 @@ type RunRequest = core.Request
 // platform Report plus exactly one populated kernel payload.
 type RunResult = core.Result
 
+// Strategy selects how the graph-division kernels (BFS, SSSP_DIJK,
+// CONN_COMP, COMM) execute: the paper-faithful full-range scan or the
+// compact-worklist frontier fast path. See core.Strategy.
+type Strategy = core.Strategy
+
+// Execution strategies.
+const (
+	// StrategyScan scans every thread's whole vertex range each round,
+	// exactly as the paper's pthreads code does. Default for RunRequest
+	// and the experiment harness, keeping paper fidelity.
+	StrategyScan Strategy = core.StrategyScan
+	// StrategyFrontier processes only a compact worklist each round —
+	// asymptotically cheaper on sparse frontiers. Default for the
+	// serving layer.
+	StrategyFrontier Strategy = core.StrategyFrontier
+)
+
 // Result types of the ten kernels.
 type (
 	SSSPResult          = core.SSSPResult
@@ -224,6 +241,32 @@ func PageRank(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error
 // Community runs parallel Louvain community detection.
 func Community(pl Platform, g *Graph, threads, maxPasses int) (*CommunityResult, error) {
 	return core.Community(context.Background(), pl, g, threads, maxPasses)
+}
+
+// BFSFrontier runs breadth-first search with the frontier strategy
+// (compact worklist, CAS claims). Levels match BFS exactly.
+func BFSFrontier(pl Platform, g *Graph, source, threads int) (*BFSResult, error) {
+	return core.BFSFrontier(context.Background(), pl, g, source, threads)
+}
+
+// SSSPFrontier runs single-source shortest paths with the frontier
+// strategy: delta-stepping-style bucketed fronts over a compact
+// worklist. Distances match SSSP exactly.
+func SSSPFrontier(pl Platform, g *Graph, source, threads int, delta int32) (*SSSPResult, error) {
+	return core.SSSPFrontier(context.Background(), pl, g, source, threads, delta)
+}
+
+// ComponentsFrontier runs connected components with the frontier
+// strategy (push-based min-label propagation). Labels match
+// ConnectedComponents exactly.
+func ComponentsFrontier(pl Platform, g *Graph, threads int) (*ComponentsResult, error) {
+	return core.ComponentsFrontier(context.Background(), pl, g, threads)
+}
+
+// CommunityFrontier runs Louvain community detection with the frontier
+// strategy (worklist of still-active vertices).
+func CommunityFrontier(pl Platform, g *Graph, threads, maxPasses int) (*CommunityResult, error) {
+	return core.CommunityFrontier(context.Background(), pl, g, threads, maxPasses)
 }
 
 // Variant result types.

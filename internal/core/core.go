@@ -36,6 +36,35 @@ type Input struct {
 	Source int
 }
 
+// Strategy selects how the graph-division kernels execute.
+//
+// StrategyScan is the paper-faithful style of the original CRONO
+// pthreads code: every round, every thread scans its whole static
+// vertex range for members of the current frontier. StrategyFrontier
+// replaces the scans with an explicit compact worklist (per-thread
+// next-frontier buffers merged at each barrier), which is asymptotically
+// cheaper when frontiers are sparse — road-class graphs see order-of-
+// magnitude wins. Both strategies produce identical results for BFS,
+// SSSP_DIJK and CONN_COMP; COMM keeps the same move rule but replaces
+// the modularity-plateau stop with worklist exhaustion.
+//
+// Kernels without a frontier formulation (the matrix, branch-and-bound
+// and fixed-iteration kernels) ignore the knob, like any other option
+// they do not consume.
+type Strategy string
+
+const (
+	// StrategyScan is the paper-fidelity full-range scan execution.
+	StrategyScan Strategy = "scan"
+	// StrategyFrontier is the compact-worklist execution.
+	StrategyFrontier Strategy = "frontier"
+)
+
+// Valid reports whether s names a known strategy.
+func (s Strategy) Valid() bool {
+	return s == StrategyScan || s == StrategyFrontier
+}
+
 // Request bundles one kernel execution's input and options. Zero-valued
 // options resolve to validated defaults, so callers set only what they
 // care about; kernels that do not consume an option ignore it.
@@ -44,6 +73,10 @@ type Request struct {
 	Input
 	// Threads is the parallelism degree (minimum and default 1).
 	Threads int
+	// Strategy selects scan or frontier execution for the kernels that
+	// support both (BFS, SSSP_DIJK, CONN_COMP, COMM). The zero value is
+	// StrategyScan, keeping paper-fidelity the default.
+	Strategy Strategy
 	// Iters is the PageRank iteration count (PageRank and PAGERANK_PULL;
 	// default DefaultPageRankIters).
 	Iters int
@@ -73,7 +106,21 @@ func (r Request) WithDefaults() Request {
 	if r.Delta < 1 {
 		r.Delta = DefaultSSSPDelta
 	}
+	if r.Strategy == "" {
+		r.Strategy = StrategyScan
+	}
 	return r
+}
+
+// strategyErr rejects unrecognized strategy values. Kernels with both
+// executions call it after WithDefaults; single-strategy kernels ignore
+// the knob entirely.
+func (r Request) strategyErr() error {
+	if !r.Strategy.Valid() {
+		return fmt.Errorf("core: unknown strategy %q (want %q or %q)",
+			r.Strategy, StrategyScan, StrategyFrontier)
+	}
+	return nil
 }
 
 // Result is one kernel execution's outcome: the platform report plus the
@@ -134,7 +181,18 @@ func Suite() []Benchmark {
 			Name: "SSSP_DIJK", Parallelization: "Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := SSSP(ctx, pl, req.G, req.Source, req.Threads)
+				if err := req.strategyErr(); err != nil {
+					return nil, err
+				}
+				var (
+					r   *SSSPResult
+					err error
+				)
+				if req.Strategy == StrategyFrontier {
+					r, err = SSSPFrontier(ctx, pl, req.G, req.Source, req.Threads, req.Delta)
+				} else {
+					r, err = SSSP(ctx, pl, req.G, req.Source, req.Threads)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -167,7 +225,18 @@ func Suite() []Benchmark {
 			Name: "BFS", Parallelization: "Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := BFS(ctx, pl, req.G, req.Source, req.Threads)
+				if err := req.strategyErr(); err != nil {
+					return nil, err
+				}
+				var (
+					r   *BFSResult
+					err error
+				)
+				if req.Strategy == StrategyFrontier {
+					r, err = BFSFrontier(ctx, pl, req.G, req.Source, req.Threads)
+				} else {
+					r, err = BFS(ctx, pl, req.G, req.Source, req.Threads)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -200,7 +269,18 @@ func Suite() []Benchmark {
 			Name: "CONN_COMP", Parallelization: "Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := ConnectedComponents(ctx, pl, req.G, req.Threads)
+				if err := req.strategyErr(); err != nil {
+					return nil, err
+				}
+				var (
+					r   *ComponentsResult
+					err error
+				)
+				if req.Strategy == StrategyFrontier {
+					r, err = ComponentsFrontier(ctx, pl, req.G, req.Threads)
+				} else {
+					r, err = ConnectedComponents(ctx, pl, req.G, req.Threads)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -233,7 +313,18 @@ func Suite() []Benchmark {
 			Name: "COMM", Parallelization: "Vertex Capture & Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := Community(ctx, pl, req.G, req.Threads, req.MaxPasses)
+				if err := req.strategyErr(); err != nil {
+					return nil, err
+				}
+				var (
+					r   *CommunityResult
+					err error
+				)
+				if req.Strategy == StrategyFrontier {
+					r, err = CommunityFrontier(ctx, pl, req.G, req.Threads, req.MaxPasses)
+				} else {
+					r, err = Community(ctx, pl, req.G, req.Threads, req.MaxPasses)
+				}
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"crono/internal/exec"
+	"crono/internal/graph"
+)
+
+// CommunityFrontier runs the COMM benchmark with the frontier strategy:
+// the same bounded single-level Louvain move rule as Community, but over
+// a worklist of active vertices instead of full sweeps. All vertices are
+// seeded active; when a vertex moves, it and its neighbors are
+// re-enqueued (deduplicated by a mark flag) because their best community
+// may have changed. Rounds end when no vertex is active or after
+// maxPasses rounds. Unlike the scan kernel there is no per-pass
+// modularity-plateau test — the shrinking worklist plays that role — so
+// the two strategies can settle on different (both valid) partitions;
+// the reported Modularity is computed from the final assignment either
+// way.
+func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, maxPasses int) (*CommunityResult, error) {
+	if err := validate(g, 0, threads); err != nil {
+		return nil, err
+	}
+	if maxPasses < 1 {
+		maxPasses = 1
+	}
+	n := g.N
+	comm := make([]int32, n)
+	k := make([]int64, n)    // weighted degree per vertex
+	ktot := make([]int64, n) // total weighted degree per community
+	var m2i int64
+	for v := 0; v < n; v++ {
+		comm[v] = int32(v)
+		_, ws := g.Neighbors(v)
+		for _, w := range ws {
+			k[v] += int64(w)
+		}
+		ktot[v] = k[v]
+		m2i += k[v]
+	}
+	if m2i == 0 {
+		rep, err := pl.RunCtx(goCtx, threads, func(exec.Ctx) {})
+		if err != nil {
+			return nil, err
+		}
+		return &CommunityResult{Community: comm, Communities: n, Passes: 0, Report: rep}, nil
+	}
+	m2 := float64(m2i)
+
+	mark := make([]int32, n) // 1 while the vertex sits in a buffer or the worklist
+	seed := make([]int32, n)
+	for v := 0; v < n; v++ {
+		mark[v] = 1
+		seed[v] = int32(v)
+	}
+	wl := newWorklist(threads, seed)
+	ctrl := ctrlContinue
+	passes := 0
+
+	rComm := pl.Alloc("commf.community", n, 4)
+	rKtot := pl.Alloc("commf.ktot", n, 8)
+	rOff := pl.Alloc("commf.offsets", n+1, 8)
+	rTgt := pl.Alloc("commf.targets", g.M(), 4)
+	rWgt := pl.Alloc("commf.weights", g.M(), 4)
+	rMark := pl.Alloc("commf.mark", n, 4)
+	rFront := pl.Alloc("commf.frontier", n, 4)
+	locks := make([]exec.Lock, n)
+	for i := range locks {
+		locks[i] = pl.NewLock()
+	}
+	bar := pl.NewBarrier(threads)
+
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
+		tid := ctx.TID()
+		nbrW := make(map[int32]int64, 16)
+		for {
+			f := wl.frontier()
+			lo, hi := chunk(tid, threads, len(f))
+			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+			found := 0
+			for i := lo; i < hi; i++ {
+				v := int(f[i])
+				atomic.StoreInt32(&mark[v], 0)
+				ctx.Store(rMark.At(v))
+				ctx.Load(rComm.At(v))
+				cur := atomic.LoadInt32(&comm[v])
+				// Gather edge weight from v to each neighboring
+				// community. The worklist dedup guarantees a single
+				// mover per vertex per round, matching the scan
+				// kernel's static-ownership guarantee.
+				clear(nbrW)
+				ctx.Load(rOff.At(v))
+				ts, ws := g.Neighbors(v)
+				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
+				for e, u := range ts {
+					ctx.Load(rComm.At(int(u)))
+					ctx.Compute(1)
+					nbrW[atomic.LoadInt32(&comm[u])] += int64(ws[e])
+				}
+				// Same bounded-heuristic gain rule as Community: totals
+				// are read without holding their locks.
+				kv := float64(k[v])
+				ctx.Load(rKtot.At(int(cur)))
+				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
+				best, bestGain := cur, stay
+				for c, w := range nbrW {
+					if c == cur {
+						continue
+					}
+					ctx.Load(rKtot.At(int(c)))
+					ctx.Compute(2)
+					gain := float64(w) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
+					if gain > bestGain+communityEps {
+						best, bestGain = c, gain
+					}
+				}
+				if best != cur {
+					a, b := cur, best
+					if a > b {
+						a, b = b, a
+					}
+					ctx.Lock(locks[a])
+					ctx.Lock(locks[b])
+					ctx.Load(rKtot.At(int(cur)))
+					ctx.Load(rKtot.At(int(best)))
+					atomic.AddInt64(&ktot[cur], -k[v])
+					atomic.AddInt64(&ktot[best], k[v])
+					ctx.Store(rKtot.At(int(cur)))
+					ctx.Store(rKtot.At(int(best)))
+					atomic.StoreInt32(&comm[v], best)
+					ctx.Store(rComm.At(v))
+					ctx.Unlock(locks[b])
+					ctx.Unlock(locks[a])
+					// The move changes the landscape for v and its
+					// neighborhood: re-enqueue whoever is not already
+					// queued.
+					if atomic.CompareAndSwapInt32(&mark[v], 0, 1) {
+						ctx.Store(rMark.At(v))
+						found++
+						wl.push(tid, int32(v))
+					}
+					for _, u := range ts {
+						if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
+							ctx.Store(rMark.At(int(u)))
+							found++
+							wl.push(tid, u)
+						}
+					}
+				}
+			}
+			ctx.Active(found - (hi - lo))
+			ctx.Barrier(bar)
+			if tid == 0 {
+				total := wl.seal()
+				passes++ // the sweep that just ran
+				st := ctrlContinue
+				switch {
+				case ctx.Checkpoint() != nil:
+					st = ctrlAbort
+				case total == 0 || passes >= maxPasses:
+					st = ctrlDone
+				}
+				atomic.StoreInt32(&ctrl, st)
+			}
+			ctx.Barrier(bar)
+			if tid != 0 && ctx.Checkpoint() != nil {
+				return
+			}
+			if c := atomic.LoadInt32(&ctrl); c != ctrlContinue {
+				return
+			}
+			wl.copyOut(ctx, rFront)
+			ctx.Barrier(bar)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	q := Modularity(g, comm)
+	seen := make(map[int32]bool)
+	for _, c := range comm {
+		seen[c] = true
+	}
+	return &CommunityResult{
+		Community:   comm,
+		Communities: len(seen),
+		Modularity:  q,
+		Passes:      passes,
+		Report:      rep,
+	}, nil
+}

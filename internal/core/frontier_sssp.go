@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"crono/internal/exec"
+	"crono/internal/graph"
+)
+
+// SSSPFrontier runs single-source shortest paths with the frontier
+// strategy: delta-stepping-style bucketed fronts over a compact worklist
+// of marked vertices. Each outer round opens a distance band
+// [gmin, gmin+delta); inner sweeps settle worklist members inside the
+// band to a fixed point (relaxations may re-mark vertices in the band),
+// while members beyond the band are carried in the worklist — never
+// rescanned from the full vertex range, which is what makes this
+// strategy win on road-class graphs where SSSP's scan formulation pays
+// O(n) per pareto front. Distances are exact, matching SSSP and
+// SSSPRef; only the schedule differs.
+func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*SSSPResult, error) {
+	if err := validate(g, src, threads); err != nil {
+		return nil, err
+	}
+	if delta < 1 {
+		return nil, fmt.Errorf("core: delta %d < 1", delta)
+	}
+	n := g.N
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[src] = 0
+	exist := make([]int32, n) // 1 while the vertex is marked (in the worklist)
+	exist[src] = 1
+	mins := make([]int32, threads)
+	changed := make([]int32, threads)
+	relax := make([]int64, threads)
+	rounds := 0
+	bandEnd := int32(0)
+	ctrl := ctrlContinue
+	wl := newWorklist(threads, []int32{int32(src)})
+
+	rDist := pl.Alloc("ssspf.dist", n, 4)
+	rOff := pl.Alloc("ssspf.offsets", n+1, 8)
+	rTgt := pl.Alloc("ssspf.targets", g.M(), 4)
+	rWgt := pl.Alloc("ssspf.weights", g.M(), 4)
+	rExist := pl.Alloc("ssspf.exist", n, 4)
+	rMins := pl.Alloc("ssspf.mins", threads, 4)
+	rChg := pl.Alloc("ssspf.changed", threads, 4)
+	rFront := pl.Alloc("ssspf.frontier", n, 4)
+	bar := pl.NewBarrier(threads)
+
+	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
+		tid := ctx.TID()
+		newBand := true
+		for {
+			f := wl.frontier()
+			lo, hi := chunk(tid, threads, len(f))
+			if newBand {
+				// Find the next band start: minimum tentative distance
+				// over the worklist (not over all n vertices).
+				local := graph.Inf
+				ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+				for i := lo; i < hi; i++ {
+					v := int(f[i])
+					ctx.Load(rDist.At(v))
+					ctx.Compute(1)
+					if d := atomic.LoadInt32(&dist[v]); d < local {
+						local = d
+					}
+				}
+				mins[tid] = local
+				ctx.Store(rMins.At(tid))
+				ctx.Barrier(bar)
+				if tid == 0 {
+					gmin := graph.Inf
+					for t := 0; t < threads; t++ {
+						ctx.Load(rMins.At(t))
+						if mins[t] < gmin {
+							gmin = mins[t]
+						}
+					}
+					st := ctrlContinue
+					switch {
+					case ctx.Checkpoint() != nil:
+						st = ctrlAbort
+					case gmin >= graph.Inf:
+						st = ctrlDone
+					default:
+						rounds++
+						atomic.StoreInt32(&bandEnd, gmin+delta)
+					}
+					atomic.StoreInt32(&ctrl, st)
+				}
+				ctx.Barrier(bar)
+				if tid != 0 && ctx.Checkpoint() != nil {
+					return
+				}
+				if atomic.LoadInt32(&ctrl) != ctrlContinue {
+					return
+				}
+				newBand = false
+			}
+			end := atomic.LoadInt32(&bandEnd)
+			// Band sweep: settle and expand worklist members inside the
+			// band; carry the rest to the next round unprocessed.
+			changed[tid] = 0
+			settled, marked := 0, 0
+			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+			for i := lo; i < hi; i++ {
+				v := int(f[i])
+				ctx.Load(rDist.At(v))
+				ctx.Compute(1)
+				dv := atomic.LoadInt32(&dist[v])
+				if dv >= end {
+					wl.push(tid, int32(v))
+					continue
+				}
+				atomic.StoreInt32(&exist[v], 0)
+				ctx.Store(rExist.At(v))
+				settled++
+				ctx.Load(rOff.At(v))
+				ts, ws := g.Neighbors(v)
+				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
+				for e, u := range ts {
+					nd := dv + ws[e]
+					ctx.Load(rDist.At(int(u)))
+					ctx.Compute(1)
+					// Lock-free CAS-min relaxation replaces the scan
+					// kernel's racy-read-then-locked-recheck.
+					for {
+						old := atomic.LoadInt32(&dist[u])
+						if nd >= old {
+							break
+						}
+						if atomic.CompareAndSwapInt32(&dist[u], old, nd) {
+							ctx.Store(rDist.At(int(u)))
+							relax[tid]++
+							if atomic.CompareAndSwapInt32(&exist[u], 0, 1) {
+								ctx.Store(rExist.At(int(u)))
+								marked++
+								wl.push(tid, u)
+							}
+							if nd < end {
+								changed[tid] = 1
+							}
+							break
+						}
+					}
+				}
+			}
+			ctx.Active(marked - settled)
+			ctx.Store(rChg.At(tid))
+			ctx.Barrier(bar)
+			if tid == 0 {
+				wl.seal()
+				any := int32(0)
+				for t := 0; t < threads; t++ {
+					ctx.Load(rChg.At(t))
+					any |= changed[t]
+				}
+				st := ctrlContinue // sweep the band again
+				switch {
+				case ctx.Checkpoint() != nil:
+					st = ctrlAbort
+				case any == 0:
+					st = ctrlNewBand // band fixpoint: open the next band
+				}
+				atomic.StoreInt32(&ctrl, st)
+			}
+			ctx.Barrier(bar)
+			if tid != 0 && ctx.Checkpoint() != nil {
+				return
+			}
+			c := atomic.LoadInt32(&ctrl)
+			if c == ctrlAbort {
+				return
+			}
+			wl.copyOut(ctx, rFront)
+			ctx.Barrier(bar)
+			newBand = c == ctrlNewBand
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var total int64
+	for _, r := range relax {
+		total += r
+	}
+	return &SSSPResult{Dist: dist, Relaxations: total, Rounds: rounds, Report: rep}, nil
+}

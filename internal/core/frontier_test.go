@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// closeEnough compares two modularity values up to float summation
+// order: Modularity iterates Go maps, so repeated evaluations of the
+// same partition can differ in the last few ulps.
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestFrontierMatchesScanOnGeneratorMatrix cross-checks every frontier
+// kernel against its sequential oracle (and the scan kernel where the
+// result is fully determined) on every stock generator.
+func TestFrontierMatchesScanOnGeneratorMatrix(t *testing.T) {
+	const n = 3000
+	for _, kind := range graph.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			g := graph.Generate(kind, n, 7)
+			ctx := context.Background()
+
+			t.Run("BFS", func(t *testing.T) {
+				ref := BFSRef(g, 0)
+				res, err := BFSFrontier(ctx, native.New(), g, 0, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range ref {
+					if res.Level[v] != ref[v] {
+						t.Fatalf("level[%d] = %d, oracle %d", v, res.Level[v], ref[v])
+					}
+				}
+				scan, err := BFS(ctx, native.New(), g, 0, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Levels != scan.Levels || res.Visited != scan.Visited {
+					t.Fatalf("frontier (levels=%d visited=%d) != scan (levels=%d visited=%d)",
+						res.Levels, res.Visited, scan.Levels, scan.Visited)
+				}
+			})
+
+			t.Run("SSSP", func(t *testing.T) {
+				ref := SSSPRef(g, 0)
+				res, err := SSSPFrontier(ctx, native.New(), g, 0, 8, DefaultSSSPDelta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range ref {
+					if res.Dist[v] != ref[v] {
+						t.Fatalf("dist[%d] = %d, oracle %d", v, res.Dist[v], ref[v])
+					}
+				}
+			})
+
+			t.Run("Components", func(t *testing.T) {
+				ref := ComponentsRef(g)
+				res, err := ComponentsFrontier(ctx, native.New(), g, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range ref {
+					if res.Labels[v] != ref[v] {
+						t.Fatalf("label[%d] = %d, oracle %d", v, res.Labels[v], ref[v])
+					}
+				}
+			})
+
+			t.Run("Community", func(t *testing.T) {
+				res, err := CommunityFrontier(ctx, native.New(), g, 8, DefaultCommunityPasses)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The bounded heuristic is schedule-dependent, so check
+				// partition validity and modularity sanity rather than
+				// equality with the scan partition.
+				if len(res.Community) != g.N {
+					t.Fatalf("community has %d entries, want %d", len(res.Community), g.N)
+				}
+				seen := make(map[int32]bool)
+				for v, c := range res.Community {
+					if c < 0 || int(c) >= g.N {
+						t.Fatalf("community[%d] = %d out of range", v, c)
+					}
+					seen[c] = true
+				}
+				if res.Communities != len(seen) {
+					t.Fatalf("Communities = %d, distinct ids = %d", res.Communities, len(seen))
+				}
+				if res.Modularity < -0.5 || res.Modularity > 1.0 {
+					t.Fatalf("modularity %v outside [-0.5, 1]", res.Modularity)
+				}
+				if got := Modularity(g, res.Community); !closeEnough(got, res.Modularity) {
+					t.Fatalf("reported modularity %v != recomputed %v", res.Modularity, got)
+				}
+			})
+		})
+	}
+}
+
+// TestFrontierPropertyRandomGraphs property-tests each frontier kernel
+// against its oracle on random graphs across thread counts.
+func TestFrontierPropertyRandomGraphs(t *testing.T) {
+	t.Run("BFS", func(t *testing.T) {
+		f := func(seed int64, pRaw uint8) bool {
+			g := randomGraph(seed)
+			p := int(pRaw)%6 + 1
+			res, err := BFSFrontier(context.Background(), native.New(), g, 0, p)
+			if err != nil {
+				return false
+			}
+			ref := BFSRef(g, 0)
+			for v := range ref {
+				if res.Level[v] != ref[v] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("SSSP", func(t *testing.T) {
+		f := func(seed int64, pRaw, dRaw uint8) bool {
+			g := randomGraph(seed)
+			p := int(pRaw)%6 + 1
+			delta := int32(dRaw)%64 + 1
+			res, err := SSSPFrontier(context.Background(), native.New(), g, 0, p, delta)
+			if err != nil {
+				return false
+			}
+			ref := SSSPRef(g, 0)
+			for v := range ref {
+				if res.Dist[v] != ref[v] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("Components", func(t *testing.T) {
+		f := func(seed int64, pRaw uint8) bool {
+			g := randomGraph(seed)
+			p := int(pRaw)%6 + 1
+			res, err := ComponentsFrontier(context.Background(), native.New(), g, p)
+			if err != nil {
+				return false
+			}
+			ref := ComponentsRef(g)
+			for v := range ref {
+				if res.Labels[v] != ref[v] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("Community", func(t *testing.T) {
+		f := func(seed int64, pRaw uint8) bool {
+			g := randomGraph(seed)
+			p := int(pRaw)%6 + 1
+			res, err := CommunityFrontier(context.Background(), native.New(), g, p, DefaultCommunityPasses)
+			if err != nil {
+				return false
+			}
+			return closeEnough(Modularity(g, res.Community), res.Modularity)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFrontierOnSimulator spot-checks that the frontier kernels run
+// unchanged on the timing simulator and still match the oracles.
+func TestFrontierOnSimulator(t *testing.T) {
+	g := graph.UniformSparse(160, 4, 30, 42)
+	ctx := context.Background()
+
+	bfsRef := BFSRef(g, 0)
+	bres, err := BFSFrontier(ctx, simMachine(t, 16), g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range bfsRef {
+		if bres.Level[v] != bfsRef[v] {
+			t.Fatalf("sim BFS level[%d] = %d, oracle %d", v, bres.Level[v], bfsRef[v])
+		}
+	}
+	if bres.Report.Time <= 0 {
+		t.Fatal("sim BFS report has no simulated time")
+	}
+
+	ssspRef := SSSPRef(g, 0)
+	sres, err := SSSPFrontier(ctx, simMachine(t, 16), g, 0, 8, DefaultSSSPDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ssspRef {
+		if sres.Dist[v] != ssspRef[v] {
+			t.Fatalf("sim SSSP dist[%d] = %d, oracle %d", v, sres.Dist[v], ssspRef[v])
+		}
+	}
+
+	ccRef := ComponentsRef(g)
+	cres, err := ComponentsFrontier(ctx, simMachine(t, 16), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ccRef {
+		if cres.Labels[v] != ccRef[v] {
+			t.Fatalf("sim CC label[%d] = %d, oracle %d", v, cres.Labels[v], ccRef[v])
+		}
+	}
+
+	mres, err := CommunityFrontier(ctx, simMachine(t, 16), g, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Modularity(g, mres.Community); !closeEnough(got, mres.Modularity) {
+		t.Fatalf("sim COMM reported modularity %v != recomputed %v", mres.Modularity, got)
+	}
+}
+
+// TestFrontierStrategyDispatch exercises the Suite dispatch path: the
+// same Request with Strategy flipped must route to the frontier kernels
+// and still satisfy the oracles; invalid strategies must error.
+func TestFrontierStrategyDispatch(t *testing.T) {
+	g := graph.UniformSparse(300, 4, 30, 9)
+	ctx := context.Background()
+	for _, name := range []string{"BFS", "SSSP_DIJK", "CONN_COMP", "COMM"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("suite is missing %s: %v", name, err)
+		}
+		for _, st := range []Strategy{StrategyScan, StrategyFrontier, ""} {
+			if _, err := b.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: st}); err != nil {
+				t.Fatalf("%s strategy %q: %v", name, st, err)
+			}
+		}
+		if _, err := b.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: "warp"}); err == nil {
+			t.Fatalf("%s accepted unknown strategy", name)
+		}
+	}
+	// Kernels without a frontier implementation ignore the knob, same as
+	// the existing unused-option contract.
+	pr, err := ByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: StrategyFrontier}); err != nil {
+		t.Fatalf("PageRank with frontier strategy: %v", err)
+	}
+}

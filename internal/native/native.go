@@ -89,6 +89,14 @@ func (b *nativeBarrier) wait(abort <-chan struct{}) {
 	select {
 	case <-ch:
 	case <-abort:
+		// Withdraw the arrival unless the generation completed anyway:
+		// leaving it counted would let a barrier reused after an aborted
+		// run release with fewer than parties arrivals.
+		b.mu.Lock()
+		if b.relCh == ch {
+			b.waiting--
+		}
+		b.mu.Unlock()
 	}
 }
 
@@ -271,9 +279,16 @@ func reconstructTrace(deltas []exec.ActiveSample, maxPoints int) []exec.ActiveSa
 		return deltas
 	}
 	step := (len(deltas) + maxPoints - 1) / maxPoints
-	out := deltas[:0]
+	// A fresh slice: writing through deltas[:0] would clobber entries the
+	// loop has yet to read once step > 1.
+	out := make([]exec.ActiveSample, 0, maxPoints+1)
 	for i := 0; i < len(deltas); i += step {
 		out = append(out, deltas[i])
+	}
+	// Always keep the final sample so the trace ends at the true gauge
+	// value rather than a stale strided point.
+	if (len(deltas)-1)%step != 0 {
+		out = append(out, deltas[len(deltas)-1])
 	}
 	return out
 }

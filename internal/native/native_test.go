@@ -3,6 +3,7 @@ package native
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"crono/internal/exec"
 )
@@ -144,5 +145,55 @@ func TestRunClampsThreadCount(t *testing.T) {
 	})
 	if rep.Threads != 1 {
 		t.Fatalf("report threads %d", rep.Threads)
+	}
+}
+
+// TestBarrierAbortedWaiterDoesNotCorruptReuse regression: a waiter
+// released via the abort channel must withdraw its arrival. On the
+// pre-fix barrier the stale count makes the reused barrier release with
+// fewer than parties arrivals.
+func TestBarrierAbortedWaiterDoesNotCorruptReuse(t *testing.T) {
+	b := New().NewBarrier(2).(*nativeBarrier)
+	aborted := make(chan struct{})
+	close(aborted)
+	b.wait(aborted) // lone arrival, released by the dead run's abort
+
+	released := make(chan struct{})
+	go func() {
+		b.wait(nil)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("reused barrier released with one arrival out of two")
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.wait(nil) // second arrival completes the generation
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier never released after both parties arrived")
+	}
+}
+
+// TestReconstructTraceKeepsLastSample regression: with a non-divisible
+// downsampling step the final sample is off-stride and must still be
+// kept, and the output must not alias the prefix-summed input.
+func TestReconstructTraceKeepsLastSample(t *testing.T) {
+	// 8 samples, maxPoints 3 -> step 3 -> strided indices 0, 3, 6; the
+	// final sample at index 7 must be appended.
+	deltas := make([]exec.ActiveSample, 8)
+	for i := range deltas {
+		deltas[i] = exec.ActiveSample{Time: uint64(i), Active: 1}
+	}
+	out := reconstructTrace(deltas, 3)
+	want := []exec.ActiveSample{{Time: 0, Active: 1}, {Time: 3, Active: 4}, {Time: 6, Active: 7}, {Time: 7, Active: 8}}
+	if len(out) != len(want) {
+		t.Fatalf("trace has %d points %v, want %d", len(out), out, len(want))
+	}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, out[i], w)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -94,6 +95,21 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	c.entries[key] = e
 	c.misses.Inc()
 	c.mu.Unlock()
+
+	// A panicking compute must still complete the entry: coalesced
+	// waiters block on done, and the key would otherwise stay in-flight
+	// forever — never evictable, never retryable. Fail the entry, free
+	// the key, then let the panic continue up this caller's stack.
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			e.err = fmt.Errorf("cache: compute panicked: %v", r)
+			close(e.done)
+			panic(r)
+		}
+	}()
 
 	e.val, e.err = compute()
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheHitAndMiss(t *testing.T) {
@@ -138,4 +139,59 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 		t.Fatalf("coalesced waiter err = %v, want context.Canceled", err)
 	}
 	close(gate)
+}
+
+// TestCachePanicCompletesWaiters regression: a panic inside compute must
+// complete the in-flight entry with an error (so coalesced waiters are
+// released instead of blocking forever) and free the key for retry. On
+// the pre-fix cache the waiter below times out and the retry coalesces
+// onto the dead entry.
+func TestCachePanicCompletesWaiters(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }() // the panic must reach the caller
+		c.Do(ctx, "k", func() (any, error) {
+			close(inCompute)
+			<-release
+			panic("boom")
+		})
+	}()
+
+	<-inCompute
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (any, error) { return "unreachable", nil })
+		waiter <- err
+	}()
+	// Let the waiter coalesce onto the in-flight entry, then blow it up.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-waiter:
+		if err == nil {
+			t.Fatal("coalesced waiter got nil error from a panicked computation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("coalesced waiter still blocked after compute panicked")
+	}
+
+	// The key must not be poisoned: a fresh computation runs and caches.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, started, err := c.Do(ctx, "k", func() (any, error) { return 7, nil })
+		if err != nil || !started || v.(int) != 7 {
+			t.Errorf("retry after panic = (%v, %v, %v), want (7, true, nil)", v, started, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("retry after panic blocked: key is poisoned")
+	}
 }

@@ -50,6 +50,10 @@ type runRequest struct {
 	Kernel string `json:"kernel"`
 	// Platform is "native" (default) or "sim".
 	Platform string `json:"platform,omitempty"`
+	// Strategy is "scan" or "frontier" for the kernels with both
+	// executions. The serving layer defaults to "frontier" (fast path);
+	// paper-fidelity experiments should pass "scan" explicitly.
+	Strategy string `json:"strategy,omitempty"`
 	Threads  int    `json:"threads,omitempty"`
 	// Source is the start vertex of SSSP/BFS/DFS.
 	Source int `json:"source,omitempty"`
@@ -275,6 +279,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown platform %q (want native or sim)", req.Platform)
 		return
 	}
+	if req.Strategy == "" {
+		req.Strategy = string(core.StrategyFrontier)
+	}
+	if !core.Strategy(req.Strategy).Valid() {
+		writeError(w, http.StatusBadRequest, "unknown strategy %q (want %q or %q)",
+			req.Strategy, core.StrategyScan, core.StrategyFrontier)
+		return
+	}
 	if req.Threads == 0 {
 		req.Threads = 8
 	}
@@ -333,8 +345,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		inputKey = sg.ID
 	}
 
-	key := fmt.Sprintf("run|%s|%s|%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
-		inputKey, bench.Name, req.Platform, req.Threads, req.Source,
+	key := fmt.Sprintf("run|%s|%s|%s|st=%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
+		inputKey, bench.Name, req.Platform, req.Strategy, req.Threads, req.Source,
 		req.Iters, req.MaxPasses, req.Delta, req.Target, req.SimCores, req.OutOfOrder)
 
 	timeout := s.cfg.DefaultTimeout
@@ -407,6 +419,7 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 
 	creq := core.Request{
 		Input:     in,
+		Strategy:  core.Strategy(req.Strategy),
 		Threads:   req.Threads,
 		Iters:     req.Iters,
 		MaxPasses: req.MaxPasses,

@@ -461,3 +461,47 @@ func TestStoreSharding(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStrategyPartitionsCacheKey: the same run with a different
+// strategy must be a fresh computation, not a cache hit — the strategy
+// knob participates in the result-cache key. An invalid strategy is a
+// 400.
+func TestRunStrategyPartitionsCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "sparse", 512, 1)
+
+	run := func(strategy string) runResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/run", runRequest{
+			Graph: gr.ID, Kernel: "BFS", Threads: 4, Strategy: strategy,
+		})
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("run strategy=%q: status %d: %s", strategy, resp.StatusCode, b)
+		}
+		var rr runResponse
+		decodeBody(t, resp, &rr)
+		return rr
+	}
+
+	if r := run("scan"); r.Cached {
+		t.Fatal("first scan run reported cached")
+	}
+	if r := run("frontier"); r.Cached {
+		t.Fatal("frontier run hit the scan run's cache entry: strategy missing from the key")
+	}
+	if r := run("scan"); !r.Cached {
+		t.Fatal("repeated scan run missed the cache")
+	}
+	// The serving layer defaults to frontier, so omitting the field must
+	// share the explicit frontier entry.
+	if r := run(""); !r.Cached {
+		t.Fatal("default-strategy run did not coalesce onto the frontier entry")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/run", runRequest{Graph: gr.ID, Kernel: "BFS", Strategy: "warp"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid strategy: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -157,5 +158,63 @@ func TestCheckpointFreeInVirtualTime(t *testing.T) {
 	}
 	if with, without := run(true), run(false); with != without {
 		t.Fatalf("checkpoints charged simulated time: %d vs %d cycles", with, without)
+	}
+}
+
+// TestBarrierAbortedWaiterDoesNotCorruptReuse regression, mirroring the
+// native barrier audit: a waiter released via the abort channel must
+// withdraw its arrival, or a barrier reused by a later run releases with
+// fewer than parties arrivals and desynchronizes its phases.
+func TestBarrierAbortedWaiterDoesNotCorruptReuse(t *testing.T) {
+	m := mustMachine(t, smallConfig())
+	bar := m.NewBarrier(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var inBarrier atomic.Bool
+
+	_, err := m.RunCtx(ctx, 2, func(c exec.Ctx) {
+		if c.TID() == 0 {
+			inBarrier.Store(true)
+			c.Barrier(bar) // thread 1 never arrives; released by the abort
+			return
+		}
+		for !inBarrier.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(10 * time.Millisecond) // let thread 0 block inside the barrier
+		cancel()
+		for c.Checkpoint() == nil { // first observer trips the abort
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted run returned %v, want context.Canceled", err)
+	}
+
+	// Reuse the same barrier in a fresh run: every phase must again need
+	// both arrivals. With a stale count the second run both escapes
+	// barriers early and strands its laggard thread at the end.
+	var phase atomic.Int32
+	var fail atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = m.RunCtx(context.Background(), 2, func(c exec.Ctx) {
+			for round := int32(1); round <= 5; round++ {
+				phase.Store(round)
+				c.Barrier(bar)
+				if phase.Load() != round {
+					fail.Store(true)
+				}
+				c.Barrier(bar)
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reused barrier deadlocked the follow-up run")
+	}
+	if fail.Load() {
+		t.Fatal("thread escaped a reused barrier early")
 	}
 }

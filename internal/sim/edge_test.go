@@ -230,3 +230,23 @@ func TestEveryCycleIsAttributed(t *testing.T) {
 			rep.Breakdown.Total(), threadSum)
 	}
 }
+
+// TestReconstructTraceKeepsLastSample regression (mirrors the native
+// platform's test): a non-divisible downsampling step must still keep
+// the final sample, and the output must not alias the input.
+func TestReconstructTraceKeepsLastSample(t *testing.T) {
+	deltas := make([]exec.ActiveSample, 8)
+	for i := range deltas {
+		deltas[i] = exec.ActiveSample{Time: uint64(i), Active: 1}
+	}
+	out := reconstructTrace(deltas, 3) // step 3: strided 0, 3, 6 + final 7
+	want := []exec.ActiveSample{{Time: 0, Active: 1}, {Time: 3, Active: 4}, {Time: 6, Active: 7}, {Time: 7, Active: 8}}
+	if len(out) != len(want) {
+		t.Fatalf("trace has %d points %v, want %d", len(out), out, len(want))
+	}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, out[i], w)
+		}
+	}
+}

@@ -884,8 +884,16 @@ func (c *ctx) Barrier(b exec.Barrier) {
 		select {
 		case <-g.ch:
 		case <-c.m.run.abort:
-			// The run died: resume without virtual-time reconciliation
-			// so this thread reaches its next checkpoint and exits.
+			// The run died: withdraw the arrival unless the generation
+			// completed anyway (a stale count would let a barrier reused
+			// by a later run release early), then resume without
+			// virtual-time reconciliation so this thread reaches its
+			// next checkpoint and exits.
+			sb.mu.Lock()
+			if sb.gen == g {
+				g.waiting--
+			}
+			sb.mu.Unlock()
 			c.publish()
 			return
 		}
@@ -1002,9 +1010,16 @@ func reconstructTrace(deltas []exec.ActiveSample, maxPoints int) []exec.ActiveSa
 		return deltas
 	}
 	step := (len(deltas) + maxPoints - 1) / maxPoints
-	out := deltas[:0]
+	// A fresh slice: writing through deltas[:0] would clobber entries the
+	// loop has yet to read once step > 1.
+	out := make([]exec.ActiveSample, 0, maxPoints+1)
 	for i := 0; i < len(deltas); i += step {
 		out = append(out, deltas[i])
+	}
+	// Always keep the final sample so the trace ends at the true gauge
+	// value rather than a stale strided point.
+	if (len(deltas)-1)%step != 0 {
+		out = append(out, deltas[len(deltas)-1])
 	}
 	return out
 }
