@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestSpeedupGuards(t *testing.T) {
+	cases := []struct {
+		name               string
+		scanNs, frontierNs uint64
+		want               float64
+	}{
+		{"normal", 300, 100, 3},
+		{"slowdown", 100, 200, 0.5},
+		{"both zero", 0, 0, 1},
+		{"zero frontier", 500, 0, 500},
+		{"zero scan", 0, 100, 0},
+	}
+	for _, c := range cases {
+		got := speedup(c.scanNs, c.frontierNs)
+		if got != c.want {
+			t.Errorf("%s: speedup(%d, %d) = %g, want %g", c.name, c.scanNs, c.frontierNs, got, c.want)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("%s: non-finite speedup %g", c.name, got)
+		}
+	}
+}
+
+// TestSpeedupMarshals pins the reason for the clamp: encoding/json
+// rejects Inf, so a zero frontier time must still yield an encodable
+// report.
+func TestSpeedupMarshals(t *testing.T) {
+	r := benchResult{Kernel: "BFS", Graph: "sparse", Speedup: speedup(500, 0)}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("marshal with zero frontier time: %v", err)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := parseSpecs("BFS:road-ca:1024, CONN_COMP:sparse:4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].kernel != "BFS" || specs[1].n != 4096 {
+		t.Fatalf("specs %+v", specs)
+	}
+	for _, bad := range []string{"", "BFS:road-ca", "BFS:road-ca:1", "BFS:nope:1024", "BFS:road-ca:x"} {
+		if _, err := parseSpecs(bad); err == nil {
+			t.Errorf("parseSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAsserts(t *testing.T) {
+	as, err := parseAsserts("BFS:road-ca:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].min != 2.0 {
+		t.Fatalf("asserts %+v", as)
+	}
+	if as, err := parseAsserts(""); err != nil || len(as) != 0 {
+		t.Fatalf("empty assert list: %v %+v", err, as)
+	}
+	for _, bad := range []string{"BFS:road-ca", "BFS:road-ca:0", "BFS:road-ca:-1", "BFS:road-ca:x"} {
+		if _, err := parseAsserts(bad); err == nil {
+			t.Errorf("parseAsserts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFindSpeedup(t *testing.T) {
+	rs := []benchResult{{Kernel: "BFS", Graph: "sparse", Speedup: 2.5}}
+	if got, ok := findSpeedup(rs, "BFS", "sparse"); !ok || got != 2.5 {
+		t.Fatalf("findSpeedup = %g, %v", got, ok)
+	}
+	if _, ok := findSpeedup(rs, "BFS", "road-ca"); ok {
+		t.Fatal("found a spec that did not run")
+	}
+}

@@ -1,0 +1,147 @@
+// Command crono-vet statically enforces the kernel-authoring invariants
+// of the exec.Ctx contract across the module: lock pairing, cancellation
+// liveness of barrier loops, barrier uniformity across threads,
+// simulator determinism and Region-derived addressing.
+//
+// Usage:
+//
+//	crono-vet ./...                 # whole module
+//	crono-vet ./internal/core/...   # one subtree
+//	crono-vet -json ./...           # machine-readable diagnostics
+//	crono-vet -c lockpair,rawaddr ./...
+//	crono-vet -list                 # registered checkers
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error. Individual
+// findings can be suppressed with a `//crono:vet-ignore [checker ...]`
+// comment on the offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crono/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		checkers = flag.String("c", "", "comma-separated checker subset (default: all)")
+		list     = flag.Bool("list", false, "list registered checkers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.Checkers() {
+			fmt.Printf("%-18s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	selected := analysis.Checkers()
+	if *checkers != "" {
+		selected = selected[:0]
+		for _, name := range strings.Split(*checkers, ",") {
+			c, err := analysis.CheckerByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, c)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loadPatterns(loader, cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.Run(loader.Fset(), pkgs, selected, analysis.DefaultConfig())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			d.File = relativize(cwd, d.File)
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadPatterns resolves go-style package patterns ("./...", "dir/...",
+// "dir") against cwd and loads the matching module packages.
+func loadPatterns(loader *analysis.Loader, cwd string, patterns []string) ([]*analysis.Package, error) {
+	all, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []*analysis.Package
+	for _, pat := range patterns {
+		dir, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			dir, recursive = rest, true
+			if dir == "" || dir == "." {
+				dir = "."
+			}
+		}
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		matched := false
+		for _, pkg := range all {
+			if pkg.Dir == dir || (recursive && strings.HasPrefix(pkg.Dir+string(filepath.Separator), dir+string(filepath.Separator))) {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func relativize(cwd, file string) string {
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crono-vet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,163 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crono/internal/analysis"
+	"crono/internal/analysis/vettest"
+)
+
+// TestCheckerFixtures runs every checker over its golden fixture
+// package: each positive case must produce exactly the diagnostics its
+// want comments demand, each negative case none.
+func TestCheckerFixtures(t *testing.T) {
+	for _, c := range analysis.Checkers() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			vettest.Run(t, c.Name, filepath.Join("testdata", c.Name))
+		})
+	}
+}
+
+// TestRepoIsClean is the vet gate in test form: the whole module must
+// pass every checker. If this fails, either fix the finding or (for a
+// deliberate exception) add a //crono:vet-ignore with a justification.
+func TestRepoIsClean(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, analysis.Checkers(), analysis.DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSimDeterminismScope verifies the checker is scoped by config: the
+// fixture full of violations is silent when its package is not listed
+// as sim-visible.
+func TestSimDeterminismScope(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "simdeterminism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckDir(dir, "crono/internal/analysis/testdata/simdeterminism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset(), []*analysis.Package{pkg},
+		[]*analysis.Checker{analysis.SimDeterminism}, analysis.DefaultConfig())
+	if len(diags) != 0 {
+		t.Fatalf("simdeterminism ran outside its sim-visible scope: %v", diags)
+	}
+}
+
+// TestIgnoreDirectiveNamed verifies a named directive only silences the
+// listed checker.
+func TestIgnoreDirectiveNamed(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "lockpair"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckDir(dir, "crono/internal/analysis/testdata/lockpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset(), []*analysis.Package{pkg},
+		[]*analysis.Checker{analysis.LockPair}, analysis.DefaultConfig())
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppressed") {
+			t.Fatalf("directive did not suppress: %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected unsuppressed lockpair findings in the fixture")
+	}
+}
+
+// TestCheckerRegistry pins the five shipped checkers and name lookup.
+func TestCheckerRegistry(t *testing.T) {
+	names := make(map[string]bool)
+	for _, c := range analysis.Checkers() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Fatalf("incomplete checker %+v", c)
+		}
+		if names[c.Name] {
+			t.Fatalf("duplicate checker name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"lockpair", "checkpointloop", "divergentbarrier", "simdeterminism", "rawaddr"} {
+		if !names[want] {
+			t.Errorf("registry missing checker %q", want)
+		}
+		if _, err := analysis.CheckerByName(want); err != nil {
+			t.Errorf("CheckerByName(%q): %v", want, err)
+		}
+	}
+	if _, err := analysis.CheckerByName("nope"); err == nil {
+		t.Error("CheckerByName accepted an unknown name")
+	}
+}
+
+// TestDiagnosticFormat pins the text and JSON forms the CLI emits.
+func TestDiagnosticFormat(t *testing.T) {
+	d := analysis.Diagnostic{File: "a/b.go", Line: 3, Col: 7, Checker: "lockpair", Message: "boom"}
+	if got, want := d.String(), "a/b.go:3:7: lockpair: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"file":"a/b.go"`, `"line":3`, `"col":7`, `"checker":"lockpair"`, `"message":"boom"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON %s missing %s", data, key)
+		}
+	}
+}
+
+// TestLoaderRejectsOutsideDirs pins the module-boundary error.
+func TestLoaderRejectsOutsideDirs(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDirs([]string{"/"}); err == nil {
+		t.Fatal("expected error loading a directory outside the module")
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CheckpointLoop enforces the cancellation-liveness invariant: a loop
+// that synchronizes on Ctx.Barrier (directly or through a helper taking
+// an exec.Barrier handle) must poll Ctx.Checkpoint somewhere in its
+// body, or a canceled run can spin in it forever once the platform has
+// released the barrier waiters. It also rejects Checkpoint calls whose
+// error is discarded — an unobserved poll provides no liveness.
+//
+// Methods declared on a platform Ctx implementation are exempt: they
+// are the machinery the invariant is written against, not kernel code.
+var CheckpointLoop = &Checker{
+	Name: "checkpointloop",
+	Doc:  "barrier-bearing loops must poll Ctx.Checkpoint and observe its error",
+	Run:  runCheckpointLoop,
+}
+
+func runCheckpointLoop(pass *Pass) {
+	e := resolveExec(pass.Pkg.Types)
+	if e == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, fn := range functions(pass.Pkg, e) {
+		if fn.recvImplementsCtx {
+			continue
+		}
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			// Function literals get their own functions() entry.
+			if _, ok := n.(*ast.FuncLit); ok && n != fn.node {
+				return false
+			}
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			case *ast.ExprStmt:
+				if call, ok := loop.X.(*ast.CallExpr); ok && e.isCtxCall(info, call, "Checkpoint") {
+					pass.Reportf(call.Pos(), "result of Ctx.Checkpoint is ignored; the poll must stop the kernel on a non-nil error")
+				}
+				return true
+			case *ast.AssignStmt:
+				if len(loop.Lhs) == 1 && len(loop.Rhs) == 1 && isBlank(loop.Lhs[0]) {
+					if call, ok := loop.Rhs[0].(*ast.CallExpr); ok && e.isCtxCall(info, call, "Checkpoint") {
+						pass.Reportf(call.Pos(), "result of Ctx.Checkpoint is ignored; the poll must stop the kernel on a non-nil error")
+					}
+				}
+				return true
+			default:
+				return true
+			}
+			hasBarrier, hasCheckpoint := false, false
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if e.barrierBearing(info, call) {
+					hasBarrier = true
+				}
+				if e.isCtxCall(info, call, "Checkpoint") {
+					hasCheckpoint = true
+				}
+				return true
+			})
+			if hasBarrier && !hasCheckpoint {
+				pass.Reportf(n.Pos(), "loop synchronizes on Ctx.Barrier but never polls Ctx.Checkpoint; a canceled run cannot unwind it")
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

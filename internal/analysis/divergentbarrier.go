@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DivergentBarrier enforces barrier uniformity: Ctx.Barrier (or a
+// helper taking an exec.Barrier handle) must not be reachable only
+// under a condition derived from Ctx.TID(). A barrier some threads skip
+// is the classic partial-barrier deadlock — the arriving threads wait
+// for parties that never come.
+//
+// "Derived from TID" is approximated one step deep: a condition is
+// divergent when it mentions Ctx.TID() directly or a variable assigned
+// straight from it. Divergence through arithmetic on such variables
+// (chunk bounds and the like) is out of scope, matching the repo idiom
+// of keeping barriers at the top level of a round.
+var DivergentBarrier = &Checker{
+	Name: "divergentbarrier",
+	Doc:  "Ctx.Barrier must not sit under a TID-derived branch",
+	Run:  runDivergentBarrier,
+}
+
+func runDivergentBarrier(pass *Pass) {
+	e := resolveExec(pass.Pkg.Types)
+	if e == nil {
+		return
+	}
+	for _, fn := range functions(pass.Pkg, e) {
+		if fn.recvImplementsCtx {
+			continue
+		}
+		checkDivergentBarrier(pass, e, fn)
+	}
+}
+
+func checkDivergentBarrier(pass *Pass, e *execTypes, fn funcInfo) {
+	info := pass.Pkg.Info
+
+	// Pass 1: variables assigned directly from ctx.TID().
+	tidVars := make(map[types.Object]bool)
+	walkShallow(fn.body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !e.isCtxCall(info, call, "TID") {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					tidVars[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					tidVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	tainted := func(cond ast.Expr) bool {
+		if cond == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if e.isCtxCall(info, x, "TID") {
+					found = true
+				}
+			case *ast.Ident:
+				if tidVars[info.Uses[x]] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Pass 2: report barrier-bearing calls inside TID-guarded regions.
+	reported := make(map[token.Pos]bool)
+	flagRegion := func(region ast.Node) {
+		if region == nil {
+			return
+		}
+		ast.Inspect(region, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !e.barrierBearing(info, call) || reported[call.Pos()] {
+				return true
+			}
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "barrier reachable only under a TID-derived condition; threads that skip it deadlock the arrivals")
+			return true
+		})
+	}
+	walkShallow(fn.body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.IfStmt:
+			if tainted(stmt.Cond) {
+				flagRegion(stmt.Body)
+				flagRegion(stmt.Else)
+			}
+		case *ast.SwitchStmt:
+			if tainted(stmt.Tag) {
+				flagRegion(stmt.Body)
+				return true
+			}
+			for _, clause := range stmt.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					if tainted(expr) {
+						for _, s := range cc.Body {
+							flagRegion(s)
+						}
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}

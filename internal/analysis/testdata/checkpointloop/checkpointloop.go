@@ -1,0 +1,71 @@
+// Package fixture exercises the checkpointloop checker.
+package fixture
+
+import "crono/internal/exec"
+
+// unpolled is the liveness bug: a canceled run releases the barrier
+// waiters, but nothing ever observes the cancellation, so the loop
+// spins forever.
+func unpolled(ctx exec.Ctx, b exec.Barrier) {
+	for i := 0; i < 64; i++ { // want `never polls Ctx\.Checkpoint`
+		ctx.Compute(1)
+		ctx.Barrier(b)
+	}
+}
+
+// unpolledRange has the same bug in range form.
+func unpolledRange(ctx exec.Ctx, b exec.Barrier, vs []int32) {
+	for range vs { // want `never polls Ctx\.Checkpoint`
+		ctx.Barrier(b)
+	}
+}
+
+// throughHelper synchronizes via a helper taking the barrier handle;
+// the loop is just as stuck.
+func throughHelper(ctx exec.Ctx, b exec.Barrier) {
+	for { // want `never polls Ctx\.Checkpoint`
+		syncRound(ctx, b)
+	}
+}
+
+func syncRound(ctx exec.Ctx, b exec.Barrier) {
+	ctx.Compute(1)
+	ctx.Barrier(b)
+}
+
+// discarded polls but throws the error away, which provides no
+// liveness at all.
+func discarded(ctx exec.Ctx, b exec.Barrier) {
+	for {
+		ctx.Barrier(b)
+		ctx.Checkpoint() // want `result of Ctx\.Checkpoint is ignored`
+	}
+}
+
+// blankAssigned is the same bug spelled with a blank assignment.
+func blankAssigned(ctx exec.Ctx, b exec.Barrier) {
+	for {
+		ctx.Barrier(b)
+		_ = ctx.Checkpoint() // want `result of Ctx\.Checkpoint is ignored`
+	}
+}
+
+// polled is the canonical phase loop: barrier then checkpoint, error
+// observed.
+func polled(ctx exec.Ctx, b exec.Barrier) {
+	for {
+		ctx.Barrier(b)
+		if ctx.Checkpoint() != nil {
+			return
+		}
+	}
+}
+
+// hotLoop has no barrier, so it needs no poll: the kernel polls at the
+// enclosing phase boundary instead.
+func hotLoop(ctx exec.Ctx, r exec.Region, n int) {
+	for v := 0; v < n; v++ {
+		ctx.Load(r.At(v))
+		ctx.Compute(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the divergentbarrier checker.
+package fixture
+
+import "crono/internal/exec"
+
+// direct is the classic partial barrier: only thread 0 arrives, the
+// rest never do, and everyone deadlocks.
+func direct(ctx exec.Ctx, b exec.Barrier) {
+	if ctx.TID() == 0 {
+		ctx.Barrier(b) // want `TID-derived condition`
+	}
+}
+
+// viaVariable reaches the barrier under a condition on a variable
+// assigned straight from TID.
+func viaVariable(ctx exec.Ctx, b exec.Barrier) {
+	tid := ctx.TID()
+	if tid != 0 {
+		ctx.Barrier(b) // want `TID-derived condition`
+	}
+}
+
+// inElse diverges on the complementary branch: threads taking the then
+// branch skip the barrier.
+func inElse(ctx exec.Ctx, b exec.Barrier) {
+	tid := ctx.TID()
+	if tid == 0 {
+		ctx.Compute(1)
+	} else {
+		ctx.Barrier(b) // want `TID-derived condition`
+	}
+}
+
+// inSwitch diverges through a switch case on the thread index.
+func inSwitch(ctx exec.Ctx, b exec.Barrier) {
+	tid := ctx.TID()
+	switch {
+	case tid == 0:
+		release(ctx, b) // want `TID-derived condition`
+	default:
+		ctx.Compute(1)
+	}
+}
+
+func release(ctx exec.Ctx, b exec.Barrier) {
+	ctx.Barrier(b)
+}
+
+// uniform is the repo's leader-phase idiom: thread 0 does extra work
+// under a TID branch, but every thread reaches the barrier.
+func uniform(ctx exec.Ctx, b exec.Barrier, r exec.Region) {
+	tid := ctx.TID()
+	if tid == 0 {
+		ctx.Load(r.At(0))
+		ctx.Compute(1)
+	}
+	ctx.Barrier(b)
+}
+
+// dataCondition guards a barrier on shared data, not on the thread
+// index: every thread computes the same predicate, so arrival is
+// uniform and the checker stays quiet.
+func dataCondition(ctx exec.Ctx, b exec.Barrier, rounds int) {
+	for i := 0; i < rounds; i++ {
+		if rounds > 4 {
+			ctx.Barrier(b)
+		}
+		if ctx.Checkpoint() != nil {
+			return
+		}
+	}
+}

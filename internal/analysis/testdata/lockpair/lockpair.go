@@ -1,0 +1,78 @@
+// Package fixture exercises the lockpair checker: positive cases carry
+// expectation comments, negative cases mirror the repo's unlock idioms.
+package fixture
+
+import "crono/internal/exec"
+
+// neverUnlocked is the simplest leak: no Unlock anywhere.
+func neverUnlocked(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l) // want `Ctx\.Lock\(l\) has no matching Ctx\.Unlock`
+	ctx.Compute(1)
+}
+
+// earlyReturn leaks on the error path between Lock and Unlock.
+func earlyReturn(ctx exec.Ctx, l exec.Lock, bad bool) {
+	ctx.Lock(l)
+	if bad {
+		return // want `return while Ctx\.Lock\(l\) may still be held`
+	}
+	ctx.Unlock(l)
+}
+
+// secondOfPair leaks only the inner lock of an ordered pair.
+func secondOfPair(ctx exec.Ctx, a, b exec.Lock) {
+	ctx.Lock(a)
+	ctx.Lock(b) // want `Ctx\.Lock\(b\) has no matching Ctx\.Unlock`
+	ctx.Unlock(a)
+}
+
+// balanced pairs a lock and unlock on the straight path.
+func balanced(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l)
+	ctx.Compute(1)
+	ctx.Unlock(l)
+}
+
+// branchBalanced unlocks on every branch before leaving, the idiom of
+// the DFS shared-stack capture.
+func branchBalanced(ctx exec.Ctx, l exec.Lock, n int) {
+	for {
+		ctx.Lock(l)
+		if n > 0 {
+			ctx.Unlock(l)
+			n--
+			continue
+		} else if n == 0 {
+			ctx.Unlock(l)
+			return
+		}
+		ctx.Unlock(l)
+		n++
+	}
+}
+
+// deferred releases through defer, which counts as an immediate match.
+func deferred(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l)
+	defer ctx.Unlock(l)
+	ctx.Compute(4)
+}
+
+// orderedPair locks two handles in id order and releases both, the COMM
+// move idiom.
+func orderedPair(ctx exec.Ctx, locks []exec.Lock, a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	ctx.Lock(locks[a])
+	ctx.Lock(locks[b])
+	ctx.Compute(1)
+	ctx.Unlock(locks[b])
+	ctx.Unlock(locks[a])
+}
+
+// suppressed shows the escape hatch: the leak is real but acknowledged.
+func suppressed(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l) //crono:vet-ignore lockpair
+	ctx.Compute(1)
+}

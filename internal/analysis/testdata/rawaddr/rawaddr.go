@@ -1,0 +1,32 @@
+// Package fixture exercises the rawaddr checker.
+package fixture
+
+import "crono/internal/exec"
+
+// hardCodedBase is the address-space squat the checker exists for.
+const hardCodedBase = 0x4000
+
+// rawLiteral annotates hard-coded addresses the platform never placed.
+func rawLiteral(ctx exec.Ctx) {
+	ctx.Load(64)                      // want `constant address 64`
+	ctx.Store(exec.Addr(128))         // want `constant address exec\.Addr\(128\)`
+	ctx.LoadSpan(hardCodedBase, 8, 4) // want `constant address hardCodedBase`
+	ctx.StoreSpan(0, 4, 8)            // want `constant address 0`
+}
+
+// derived gets every address from the platform-placed region, which is
+// the contract.
+func derived(ctx exec.Ctx, r exec.Region) {
+	ctx.Load(r.At(0))
+	ctx.Store(r.At(1))
+	ctx.LoadSpan(r.At(8), 8, 4)
+	ctx.StoreSpan(r.Base, 4, 8)
+	ctx.Load(r.At(2) + exec.LineSize)
+}
+
+// computedOffset mixes a region address with runtime arithmetic; the
+// result is not a compile-time constant, so it passes.
+func computedOffset(ctx exec.Ctx, r exec.Region, i int) {
+	ctx.Load(r.At(i))
+	ctx.Store(r.Base + uint64(i)*r.ElemSize)
+}

@@ -1,0 +1,162 @@
+// Package vettest is a hand-rolled analysistest-style harness for the
+// crono-vet checkers: a fixture directory is loaded as one package
+// (with crono/... imports resolved against the enclosing module), a
+// single checker runs over it, and the diagnostics are compared 1:1
+// against `// want "regexp"` comments in the fixture sources.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crono/internal/analysis"
+)
+
+// want is one expected diagnostic: any diagnostic reported on its line
+// whose message matches the pattern consumes it.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run executes the named checker over the fixture package in dir and
+// fails t unless the diagnostics match the fixture's want comments
+// exactly. The fixture's own import path is installed as sim-visible so
+// simdeterminism fixtures are in scope.
+func Run(t *testing.T, checkerName, dir string) {
+	t.Helper()
+	checker, err := analysis.CheckerByName(checkerName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath := loader.ModPath + "/" + filepath.ToSlash(rel)
+	pkg, err := loader.CheckDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	cfg := analysis.Config{SimVisible: []string{importPath}}
+	diags := analysis.Run(loader.Fset(), []*analysis.Package{pkg}, []*analysis.Checker{checker}, cfg)
+	wants, err := collectWants(loader.Fset(), pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func consume(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts `// want "re" ["re" ...]` expectations from the
+// fixture comments. Patterns are double-quoted Go strings or backquoted
+// raw strings.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitPatterns(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for s != "" {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				return nil, fmt.Errorf("unterminated pattern")
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern")
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("pattern must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

@@ -90,7 +90,12 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		lo, hi := chunk(tid, threads, n)
+		// Neighboring-community weights, with keys kept in a slice in
+		// discovery order: map iteration order is randomized, and the
+		// annotation sequence (and gain tie-breaks) below must be
+		// deterministic for the simulator.
 		nbrW := make(map[int32]int64, 16)
+		nbrC := make([]int32, 0, 16)
 		for {
 			if ctx.Checkpoint() != nil {
 				return
@@ -103,6 +108,7 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 				// Gather edge weight from v to each neighboring
 				// community.
 				clear(nbrW)
+				nbrC = nbrC[:0]
 				ctx.Load(rOff.At(v))
 				ts, ws := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
@@ -110,7 +116,11 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 				for e, u := range ts {
 					ctx.Load(rComm.At(int(u)))
 					ctx.Compute(1)
-					nbrW[atomic.LoadInt32(&comm[u])] += int64(ws[e])
+					cu := atomic.LoadInt32(&comm[u])
+					if _, seen := nbrW[cu]; !seen {
+						nbrC = append(nbrC, cu)
+					}
+					nbrW[cu] += int64(ws[e])
 				}
 				// Gain of leaving cur; totals are read without holding
 				// their locks — the paper's bounded heuristic tolerates
@@ -119,13 +129,13 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 				ctx.Load(rKtot.At(int(cur)))
 				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
 				best, bestGain := cur, stay
-				for c, w := range nbrW {
+				for _, c := range nbrC {
 					if c == cur {
 						continue
 					}
 					ctx.Load(rKtot.At(int(c)))
 					ctx.Compute(2)
-					gain := float64(w) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
+					gain := float64(nbrW[c]) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
 					if gain > bestGain+communityEps {
 						best, bestGain = c, gain
 					}

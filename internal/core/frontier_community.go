@@ -74,7 +74,12 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 
 	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
+		// Neighboring-community weights, with keys kept in a slice in
+		// discovery order: map iteration order is randomized, and the
+		// annotation sequence (and gain tie-breaks) below must be
+		// deterministic for the simulator.
 		nbrW := make(map[int32]int64, 16)
+		nbrC := make([]int32, 0, 16)
 		for {
 			f := wl.frontier()
 			lo, hi := chunk(tid, threads, len(f))
@@ -91,6 +96,7 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 				// mover per vertex per round, matching the scan
 				// kernel's static-ownership guarantee.
 				clear(nbrW)
+				nbrC = nbrC[:0]
 				ctx.Load(rOff.At(v))
 				ts, ws := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
@@ -98,7 +104,11 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 				for e, u := range ts {
 					ctx.Load(rComm.At(int(u)))
 					ctx.Compute(1)
-					nbrW[atomic.LoadInt32(&comm[u])] += int64(ws[e])
+					cu := atomic.LoadInt32(&comm[u])
+					if _, seen := nbrW[cu]; !seen {
+						nbrC = append(nbrC, cu)
+					}
+					nbrW[cu] += int64(ws[e])
 				}
 				// Same bounded-heuristic gain rule as Community: totals
 				// are read without holding their locks.
@@ -106,13 +116,13 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 				ctx.Load(rKtot.At(int(cur)))
 				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
 				best, bestGain := cur, stay
-				for c, w := range nbrW {
+				for _, c := range nbrC {
 					if c == cur {
 						continue
 					}
 					ctx.Load(rKtot.At(int(c)))
 					ctx.Compute(2)
-					gain := float64(w) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
+					gain := float64(nbrW[c]) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
 					if gain > bestGain+communityEps {
 						best, bestGain = c, gain
 					}

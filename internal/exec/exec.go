@@ -9,7 +9,10 @@
 // through a detailed multicore timing and energy model.
 package exec
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
 
 // Addr is a logical byte address in the platform's address space. The
 // simulator maps addresses to cache lines, home tiles and memory
@@ -30,8 +33,16 @@ type Region struct {
 	Elems    uint64
 }
 
-// At returns the address of element i.
-func (r Region) At(i int) Addr { return r.Base + uint64(i)*r.ElemSize }
+// At returns the address of element i. A negative index panics: the
+// uint64 conversion would otherwise wrap it into a huge address far
+// outside the region, and the platforms would silently attribute the
+// access to whatever region happens to own that line.
+func (r Region) At(i int) Addr {
+	if i < 0 {
+		panic(fmt.Sprintf("exec: negative index %d into region %q", i, r.Name))
+	}
+	return r.Base + uint64(i)*r.ElemSize
+}
 
 // Bytes returns the total size of the region in bytes.
 func (r Region) Bytes() uint64 { return r.ElemSize * r.Elems }

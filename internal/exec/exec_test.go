@@ -15,6 +15,16 @@ func TestRegionAddressing(t *testing.T) {
 	}
 }
 
+func TestRegionAtNegativePanics(t *testing.T) {
+	r := Region{Name: "x", Base: 128, ElemSize: 4, Elems: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(-1) did not panic; the uint64 wrap would address outside the region")
+		}
+	}()
+	r.At(-1)
+}
+
 func TestBreakdownTotalAndFractions(t *testing.T) {
 	var b Breakdown
 	b[CompCompute] = 50
@@ -95,6 +105,19 @@ func TestCacheStatsRates(t *testing.T) {
 	if empty.L1MissRate() != 0 || empty.HierarchyMissRate() != 0 {
 		t.Fatal("empty stats not zero")
 	}
+	if empty.L1MissRateByClass() != [NumMissClasses]float64{} {
+		t.Fatal("zero-access per-class rates not zero")
+	}
+	// Misses recorded against zero accesses (a malformed report) must
+	// still not divide by zero.
+	malformed := CacheStats{L2Misses: 7}
+	malformed.L1DMisses[MissSharing] = 3
+	if malformed.L1MissRate() != 0 || malformed.HierarchyMissRate() != 0 {
+		t.Fatal("zero-access rates not guarded")
+	}
+	if malformed.L1MissRateByClass() != [NumMissClasses]float64{} {
+		t.Fatal("zero-access per-class rates not guarded")
+	}
 }
 
 func TestReportVariability(t *testing.T) {
@@ -113,6 +136,10 @@ func TestReportVariability(t *testing.T) {
 	r = &Report{Instructions: []uint64{0, 0}}
 	if r.Variability() != 0 {
 		t.Fatal("zero-instruction variability")
+	}
+	r = &Report{Instructions: []uint64{42}}
+	if r.Variability() != 0 {
+		t.Fatal("single-thread variability should be zero")
 	}
 	r = &Report{Instructions: []uint64{3, 4, 5}}
 	if r.TotalInstructions() != 12 {
