@@ -1,17 +1,31 @@
-// Command crono-bench times the scan and frontier execution strategies
-// of the graph-division kernels on the stock generators and emits a
-// BENCH_kernels.json perf-trajectory artifact. It is the regression
-// guard for the frontier fast path: -assert pins minimum frontier
-// speedups and fails the run (exit 1) when one is not met.
+// Command crono-bench times the graph-division kernels and emits a
+// perf-trajectory JSON artifact. It has two modes:
+//
+//   - native (default): times the scan vs frontier execution strategies
+//     on the native platform and writes BENCH_kernels.json. It is the
+//     regression guard for the frontier fast path.
+//   - sim: times the simulator's sharded memory system against the
+//     -serialized global-lock baseline (Config.SerialMemory) on the same
+//     kernels and writes BENCH_sim.json. It is the regression guard for
+//     the home-tile lock sharding: the reported speedup is serialized
+//     host wall-clock over sharded host wall-clock, so it tracks how
+//     much simulator throughput the sharding buys on this host.
 //
 // Usage:
 //
-//	crono-bench                            # default spec matrix
+//	crono-bench                            # default native spec matrix
 //	crono-bench -spec BFS:road-ca:1048576 -assert BFS:road-ca:2.0
-//	crono-bench -spec BFS:sparse:65536,CONN_COMP:road-tx:65536 -reps 5
+//	crono-bench -mode sim -hostthreads 8   # sharded-vs-serial simulator
+//	crono-bench -mode sim -assert BFS:sparse:1.2
+//	crono-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each -spec entry is kernel:graph:n; each -assert entry is
-// kernel:graph:minSpeedup and must name a spec that ran.
+// kernel:graph:minSpeedup and must name a spec that ran (in sim mode the
+// assertion is checked against the scan-strategy result). Sim-mode
+// speedups depend on host parallelism: a single-CPU host runs the
+// simulated cores one at a time, so sharding the memory-system lock
+// cannot beat ~1x there. The artifact records hostCPUs so readers can
+// judge the number.
 package main
 
 import (
@@ -20,18 +34,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"crono/internal/core"
 	"crono/internal/graph"
 	"crono/internal/native"
+	"crono/internal/sim"
 )
 
 // defaultSpec sizes each kernel so the whole run stays in CI-smoke
 // territory at -reps 1 while the road-network BFS entry is big enough
 // (1M vertices) to expose the asymptotic scan-vs-frontier gap.
 const defaultSpec = "BFS:road-ca:1048576,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768"
+
+// defaultSimSpec keeps the simulator runs small enough for CI: the
+// detailed memory-system model costs ~1000x native execution per
+// annotation. Sparse uniform graphs keep every simulated core busy
+// (road-network BFS from vertex 0 touches a tiny component and would
+// benchmark an idle machine).
+const defaultSimSpec = "BFS:sparse:16384,SSSP_DIJK:sparse:4096"
 
 type benchResult struct {
 	Kernel     string `json:"kernel"`
@@ -55,6 +80,43 @@ type benchReport struct {
 	Results  []benchResult `json:"results"`
 }
 
+type simResult struct {
+	Kernel   string `json:"kernel"`
+	Graph    string `json:"graph"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Strategy string `json:"strategy"`
+	// SerialNs and ShardedNs are best-of-reps host wall-clock times of
+	// the full kernel run under the global-lock baseline and the sharded
+	// memory system respectively.
+	SerialNs  uint64 `json:"serialNs"`
+	ShardedNs uint64 `json:"shardedNs"`
+	// Speedup is serialized over sharded host time; > 1 means the
+	// sharded memory system simulates faster.
+	Speedup float64 `json:"speedup"`
+	// SimCycles and Instructions come from the sharded run's report;
+	// the serialized baseline models the same machine, so its aggregate
+	// counts match (see internal/sim's invariance tests).
+	SimCycles    uint64 `json:"simCycles"`
+	Instructions uint64 `json:"instructions"`
+	// InstrPerHostSec is the sharded run's simulation throughput:
+	// simulated instructions retired per host second.
+	InstrPerHostSec float64 `json:"instrPerHostSec"`
+}
+
+type simReport struct {
+	Suite       string `json:"suite"`
+	Platform    string `json:"platform"`
+	HostThreads int    `json:"hostThreads"`
+	// HostCPUs is runtime.NumCPU() — the hard ceiling on how much the
+	// sharded memory system can help on this machine.
+	HostCPUs int         `json:"hostCPUs"`
+	SimCores int         `json:"simCores"`
+	Reps     int         `json:"reps"`
+	Seed     int64       `json:"seed"`
+	Results  []simResult `json:"results"`
+}
+
 type spec struct {
 	kernel string
 	graph  string
@@ -69,14 +131,30 @@ type assertion struct {
 
 func main() {
 	var (
-		specFlag   = flag.String("spec", defaultSpec, "comma-separated kernel:graph:n entries to time")
-		assertFlag = flag.String("assert", "", "comma-separated kernel:graph:minSpeedup entries that must hold")
-		threads    = flag.Int("threads", 8, "thread count for both strategies")
-		reps       = flag.Int("reps", 3, "repetitions per strategy; the minimum time wins")
-		seed       = flag.Int64("seed", 42, "graph generator seed")
-		out        = flag.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
+		mode        = flag.String("mode", "native", `benchmark mode: "native" (scan vs frontier) or "sim" (sharded vs serialized simulator memory system)`)
+		specFlag    = flag.String("spec", defaultSpec, "comma-separated kernel:graph:n entries to time")
+		assertFlag  = flag.String("assert", "", "comma-separated kernel:graph:minSpeedup entries that must hold")
+		threads     = flag.Int("threads", 8, "native mode: thread count for both strategies")
+		hostThreads = flag.Int("hostthreads", 8, "sim mode: GOMAXPROCS while simulating")
+		simCores    = flag.Int("simcores", 64, "sim mode: simulated core count (perfect square)")
+		reps        = flag.Int("reps", 3, "repetitions per configuration; the minimum time wins")
+		seed        = flag.Int64("seed", 42, "graph generator seed")
+		out         = flag.String("out", "", "output JSON path (- for stdout; default BENCH_kernels.json or BENCH_sim.json by mode)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this path before exiting")
 	)
 	flag.Parse()
+
+	if *specFlag == defaultSpec && *mode == "sim" {
+		*specFlag = defaultSimSpec
+	}
+	if *out == "" {
+		if *mode == "sim" {
+			*out = "BENCH_sim.json"
+		} else {
+			*out = "BENCH_kernels.json"
+		}
+	}
 
 	specs, err := parseSpecs(*specFlag)
 	if err != nil {
@@ -87,36 +165,75 @@ func main() {
 		fatal(err)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	var failed bool
+	switch *mode {
+	case "native":
+		failed, err = runNative(specs, asserts, *threads, *reps, *seed, *out)
+	case "sim":
+		failed, err = runSim(specs, asserts, *hostThreads, *simCores, *reps, *seed, *out)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeHeapProfile(*memprofile); perr != nil {
+			fatal(perr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runNative times scan vs frontier on the native platform and reports
+// whether any assertion failed.
+func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64, out string) (bool, error) {
 	rep := benchReport{
 		Suite:    "crono-bench",
 		Platform: "native",
-		Threads:  *threads,
-		Reps:     *reps,
-		Seed:     *seed,
+		Threads:  threads,
+		Reps:     reps,
+		Seed:     seed,
 	}
 	ctx := context.Background()
 	for _, sp := range specs {
 		bench, err := core.ByName(sp.kernel)
 		if err != nil {
-			fatal(err)
+			return false, err
 		}
-		g := graph.Generate(graph.Kind(sp.graph), sp.n, *seed)
+		g := graph.Generate(graph.Kind(sp.graph), sp.n, seed)
 		fmt.Fprintf(os.Stderr, "bench %s on %s n=%d m=%d threads=%d\n",
-			sp.kernel, sp.graph, g.N, g.M(), *threads)
-		scanNs, err := timeStrategy(ctx, bench, g, core.StrategyScan, *threads, *reps)
+			sp.kernel, sp.graph, g.N, g.M(), threads)
+		scanNs, err := timeStrategy(ctx, bench, g, core.StrategyScan, threads, reps)
 		if err != nil {
-			fatal(fmt.Errorf("%s/%s scan: %w", sp.kernel, sp.graph, err))
+			return false, fmt.Errorf("%s/%s scan: %w", sp.kernel, sp.graph, err)
 		}
-		frontierNs, err := timeStrategy(ctx, bench, g, core.StrategyFrontier, *threads, *reps)
+		frontierNs, err := timeStrategy(ctx, bench, g, core.StrategyFrontier, threads, reps)
 		if err != nil {
-			fatal(fmt.Errorf("%s/%s frontier: %w", sp.kernel, sp.graph, err))
+			return false, fmt.Errorf("%s/%s frontier: %w", sp.kernel, sp.graph, err)
 		}
 		r := benchResult{
 			Kernel:     sp.kernel,
 			Graph:      sp.graph,
 			N:          g.N,
 			M:          g.M(),
-			Threads:    *threads,
+			Threads:    threads,
 			ScanNs:     scanNs,
 			FrontierNs: frontierNs,
 		}
@@ -126,43 +243,116 @@ func main() {
 		rep.Results = append(rep.Results, r)
 	}
 
-	if err := writeReport(*out, &rep); err != nil {
-		fatal(err)
+	if err := writeReport(out, &rep); err != nil {
+		return false, err
 	}
 
 	failed := false
 	for _, a := range asserts {
 		got, ok := findSpeedup(rep.Results, a.kernel, a.graph)
 		if !ok {
-			fatal(fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph))
+			return false, fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph)
 		}
-		if got < a.min {
-			failed = true
-			fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s speedup %.2fx < required %.2fx\n",
-				a.kernel, a.graph, got, a.min)
-		} else {
-			fmt.Fprintf(os.Stderr, "assert ok: %s on %s speedup %.2fx >= %.2fx\n",
-				a.kernel, a.graph, got, a.min)
-		}
+		failed = checkAssert(a, got) || failed
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return failed, nil
 }
 
-// speedup returns scan time over frontier time, guarded against the
+// runSim times the sharded simulator memory system against the
+// SerialMemory global-lock baseline. Both configurations model the same
+// machine and produce the same aggregate event counts; only host
+// wall-clock differs.
+func runSim(specs []spec, asserts []assertion, hostThreads, simCores, reps int, seed int64, out string) (bool, error) {
+	prev := runtime.GOMAXPROCS(hostThreads)
+	defer runtime.GOMAXPROCS(prev)
+	rep := simReport{
+		Suite:       "crono-bench",
+		Platform:    "sim",
+		HostThreads: hostThreads,
+		HostCPUs:    runtime.NumCPU(),
+		SimCores:    simCores,
+		Reps:        reps,
+		Seed:        seed,
+	}
+	ctx := context.Background()
+	for _, sp := range specs {
+		bench, err := core.ByName(sp.kernel)
+		if err != nil {
+			return false, err
+		}
+		g := graph.Generate(graph.Kind(sp.graph), sp.n, seed)
+		for _, st := range []core.Strategy{core.StrategyScan, core.StrategyFrontier} {
+			fmt.Fprintf(os.Stderr, "sim bench %s on %s n=%d m=%d strategy=%s simcores=%d hostthreads=%d\n",
+				sp.kernel, sp.graph, g.N, g.M(), st, simCores, hostThreads)
+			serial, err := timeSim(ctx, bench, g, st, simCores, reps, true)
+			if err != nil {
+				return false, fmt.Errorf("%s/%s serial: %w", sp.kernel, sp.graph, err)
+			}
+			sharded, err := timeSim(ctx, bench, g, st, simCores, reps, false)
+			if err != nil {
+				return false, fmt.Errorf("%s/%s sharded: %w", sp.kernel, sp.graph, err)
+			}
+			r := simResult{
+				Kernel:       sp.kernel,
+				Graph:        sp.graph,
+				N:            g.N,
+				M:            g.M(),
+				Strategy:     string(st),
+				SerialNs:     serial.hostNs,
+				ShardedNs:    sharded.hostNs,
+				Speedup:      speedup(serial.hostNs, sharded.hostNs),
+				SimCycles:    sharded.simCycles,
+				Instructions: sharded.instr,
+			}
+			if sharded.hostNs > 0 {
+				r.InstrPerHostSec = float64(sharded.instr) / (float64(sharded.hostNs) / 1e9)
+			}
+			fmt.Fprintf(os.Stderr, "  serial %d ns, sharded %d ns, speedup %.2fx (%.0f instr/s)\n",
+				serial.hostNs, sharded.hostNs, r.Speedup, r.InstrPerHostSec)
+			rep.Results = append(rep.Results, r)
+		}
+	}
+
+	if err := writeReport(out, &rep); err != nil {
+		return false, err
+	}
+
+	failed := false
+	for _, a := range asserts {
+		got, ok := findSimSpeedup(rep.Results, a.kernel, a.graph)
+		if !ok {
+			return false, fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph)
+		}
+		failed = checkAssert(a, got) || failed
+	}
+	return failed, nil
+}
+
+// checkAssert reports whether the assertion failed, logging either way.
+func checkAssert(a assertion, got float64) bool {
+	if got < a.min {
+		fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s speedup %.2fx < required %.2fx\n",
+			a.kernel, a.graph, got, a.min)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "assert ok: %s on %s speedup %.2fx >= %.2fx\n",
+		a.kernel, a.graph, got, a.min)
+	return false
+}
+
+// speedup returns baseline time over contender time, guarded against the
 // zero durations a coarse timer can report on tiny inputs: two zero
-// times compare as equal, and a lone zero frontier time is clamped to
+// times compare as equal, and a lone zero contender time is clamped to
 // one tick so the ratio stays finite (encoding/json rejects Inf and
 // -assert would otherwise divide by zero).
-func speedup(scanNs, frontierNs uint64) float64 {
-	if scanNs == 0 && frontierNs == 0 {
+func speedup(baseNs, contenderNs uint64) float64 {
+	if baseNs == 0 && contenderNs == 0 {
 		return 1
 	}
-	if frontierNs == 0 {
-		frontierNs = 1
+	if contenderNs == 0 {
+		contenderNs = 1
 	}
-	return float64(scanNs) / float64(frontierNs)
+	return float64(baseNs) / float64(contenderNs)
 }
 
 // timeStrategy runs the kernel reps times and returns the minimum
@@ -184,6 +374,47 @@ func timeStrategy(ctx context.Context, bench core.Benchmark, g *graph.CSR, st co
 		}
 		if t := res.Report.Time; i == 0 || t < best {
 			best = t
+		}
+	}
+	return best, nil
+}
+
+type simRun struct {
+	hostNs    uint64
+	simCycles uint64
+	instr     uint64
+}
+
+// timeSim runs the kernel on a fresh simulated machine reps times with
+// one simulated thread per core and returns the best-of-reps host
+// wall-clock together with that run's simulated cycle and instruction
+// totals. A fresh machine per rep keeps the caches cold so every rep
+// measures the same work.
+func timeSim(ctx context.Context, bench core.Benchmark, g *graph.CSR, st core.Strategy, simCores, reps int, serialMemory bool) (simRun, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best simRun
+	for i := 0; i < reps; i++ {
+		cfg := sim.Default()
+		cfg.Cores = simCores
+		cfg.SerialMemory = serialMemory
+		m, err := sim.New(cfg)
+		if err != nil {
+			return simRun{}, err
+		}
+		start := time.Now()
+		res, err := bench.Run(ctx, m, core.Request{
+			Input:    core.Input{G: g},
+			Threads:  simCores,
+			Strategy: st,
+		})
+		if err != nil {
+			return simRun{}, err
+		}
+		host := uint64(time.Since(start))
+		if i == 0 || host < best.hostNs {
+			best = simRun{hostNs: host, simCycles: res.Report.Time, instr: res.Report.TotalInstructions()}
 		}
 	}
 	return best, nil
@@ -253,7 +484,19 @@ func findSpeedup(rs []benchResult, kernel, g string) (float64, bool) {
 	return 0, false
 }
 
-func writeReport(path string, rep *benchReport) error {
+// findSimSpeedup checks assertions against the scan-strategy result:
+// scan is the paper-fidelity execution and the one whose annotation
+// volume the sharding was sized for.
+func findSimSpeedup(rs []simResult, kernel, g string) (float64, bool) {
+	for _, r := range rs {
+		if r.Kernel == kernel && r.Graph == g && r.Strategy == string(core.StrategyScan) {
+			return r.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+func writeReport(path string, rep any) error {
 	var f *os.File
 	if path == "-" {
 		f = os.Stdout
@@ -268,6 +511,18 @@ func writeReport(path string, rep *benchReport) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// writeHeapProfile snapshots the heap after a final GC so the profile
+// reflects live allocations, not garbage awaiting collection.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func fatal(err error) {

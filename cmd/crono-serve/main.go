@@ -7,6 +7,7 @@
 // Usage:
 //
 //	crono-serve -addr :8080 -workers 4 -queue 64
+//	crono-serve -addr :8080 -pprof localhost:6060   # opt-in profiler
 //
 // Quick start:
 //
@@ -26,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +39,7 @@ import (
 func main() {
 	cfg := service.DefaultConfig()
 	var drain time.Duration
+	var pprofAddr string
 	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "kernel worker pool size")
 	flag.IntVar(&cfg.QueueLen, "queue", cfg.QueueLen, "worker queue bound (beyond it requests shed with 429)")
@@ -46,7 +49,20 @@ func main() {
 	flag.IntVar(&cfg.SimCores, "sim-cores", cfg.SimCores, "default simulated core count (perfect square)")
 	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
 	flag.DurationVar(&drain, "drain-timeout", 15*time.Second, "shutdown drain bound")
+	flag.StringVar(&pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
+
+	// The profiler listens on its own address so /debug/pprof never
+	// shares a port with the public API: deployments expose -addr and
+	// keep -pprof loopback-only.
+	if pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

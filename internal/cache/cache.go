@@ -3,7 +3,10 @@
 // L2 slices of Table II; no data is stored.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // State is a MESI line state as kept by a private cache.
 type State byte
@@ -165,6 +168,27 @@ func (c *Cache) Invalidate(line uint64) State {
 		}
 	}
 	return Invalid
+}
+
+// Locked is a Cache bundled with its own mutex, for callers that shard a
+// formerly global lock: the owner locks the embedded Mutex around any
+// group of tag-array operations (and any other state it chooses to guard
+// with the same stripe, such as per-core miss-classification maps) instead
+// of relying on one external serializing lock. The zero hold discipline of
+// Cache is unchanged — methods themselves stay unsynchronized so a single
+// lock round-trip can cover a whole multi-step transaction.
+type Locked struct {
+	sync.Mutex
+	*Cache
+}
+
+// NewLocked builds a Locked cache with the geometry of New.
+func NewLocked(sizeBytes, ways, lineBytes int) (*Locked, error) {
+	c, err := New(sizeBytes, ways, lineBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Locked{Cache: c}, nil
 }
 
 // Occupancy returns the number of valid lines.

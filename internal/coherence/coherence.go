@@ -287,3 +287,51 @@ func (d *Dir) Owner(line uint64) int {
 
 // Entries returns the number of live directory entries.
 func (d *Dir) Entries() int { return len(d.lines) }
+
+// Sharded partitions directory state into independent home-tile stripes so
+// a parallel simulator can lock per stripe instead of serializing every
+// coherence transaction globally. Stripe i owns exactly the lines with
+// line % stripes == i — the same mapping the simulator uses for L2 home
+// slices, so one home-tile lock covers both the slice and its directory
+// stripe. Sharded itself carries no lock: the caller guards each stripe
+// with the corresponding home-tile lock.
+type Sharded struct {
+	stripes []*Dir
+}
+
+// NewSharded builds a directory of the given stripe count; each stripe is
+// an independent Dir with k sharer pointers over cores.
+func NewSharded(k, cores, stripes int) (*Sharded, error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("coherence: stripe count %d", stripes)
+	}
+	s := &Sharded{stripes: make([]*Dir, stripes)}
+	for i := range s.stripes {
+		d, err := New(k, cores)
+		if err != nil {
+			return nil, err
+		}
+		s.stripes[i] = d
+	}
+	return s, nil
+}
+
+// Stripe returns the stripe owning line. All operations on line must go
+// through this stripe, under the caller's lock for it.
+func (s *Sharded) Stripe(line uint64) *Dir { return s.stripes[line%uint64(len(s.stripes))] }
+
+// StripeAt returns stripe i directly (diagnostics and tests).
+func (s *Sharded) StripeAt(i int) *Dir { return s.stripes[i] }
+
+// Stripes returns the stripe count.
+func (s *Sharded) Stripes() int { return len(s.stripes) }
+
+// Entries sums live directory entries across stripes. The caller must
+// quiesce concurrent mutators first.
+func (s *Sharded) Entries() int {
+	n := 0
+	for _, d := range s.stripes {
+		n += d.Entries()
+	}
+	return n
+}

@@ -9,13 +9,22 @@
 // misbehave under lax-synchronization clock skew.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"crono/internal/noc"
+)
 
 // maxRho caps utilization in the queueing formula.
 const maxRho = 0.95
 
-// Controller is one memory controller. It is not safe for concurrent
-// use; the simulator serializes access.
+// Controller is one memory controller. Access is safe for concurrent
+// use: channel occupancy, horizon and statistics live in atomics, so
+// simulated cores on different host threads reach DRAM without a shared
+// lock. Like the NoC links, the utilization model tolerates any
+// presentation order, which makes lock-free accumulation equivalent to
+// the old serialized updates.
 type Controller struct {
 	// LatencyCycles is the DRAM access latency in core cycles.
 	LatencyCycles uint64
@@ -23,10 +32,10 @@ type Controller struct {
 	// 5 GB/s is 0.2 cycles per byte).
 	CyclesPerByte float64
 
-	busy     uint64 // cumulative channel occupancy
-	horizon  uint64 // latest virtual time observed
-	accesses uint64
-	queuedCy uint64
+	busy     atomic.Uint64 // cumulative channel occupancy
+	horizon  atomic.Uint64 // latest virtual time observed
+	accesses atomic.Uint64
+	queuedCy atomic.Uint64
 }
 
 // New builds a controller from a clock (Hz), bandwidth (bytes/s) and
@@ -49,32 +58,34 @@ func (c *Controller) Access(start uint64, bytes int) (done, queued uint64) {
 	if occupancy == 0 {
 		occupancy = 1
 	}
-	if start > c.horizon {
-		c.horizon = start
-	}
-	if c.busy > 0 && c.horizon > 0 {
-		rho := float64(c.busy) / float64(c.horizon)
+	// Same arithmetic as the serialized model: raise the horizon, price
+	// the delay against the occupancy *before* this transfer's
+	// reservation, then reserve (Add returns the post-add value).
+	horizon := noc.MaxTo(&c.horizon, start)
+	busy := c.busy.Add(occupancy) - occupancy
+	if busy > 0 && horizon > 0 {
+		rho := float64(busy) / float64(horizon)
 		if rho > maxRho {
 			rho = maxRho
 		}
 		queued = uint64(rho/(1-rho)*float64(occupancy)/2 + 0.5)
 	}
-	c.busy += occupancy
-	c.accesses++
-	c.queuedCy += queued
+	c.accesses.Add(1)
+	c.queuedCy.Add(queued)
 	return start + queued + occupancy + c.LatencyCycles, queued
 }
 
 // Accesses returns the number of transfers served.
-func (c *Controller) Accesses() uint64 { return c.accesses }
+func (c *Controller) Accesses() uint64 { return c.accesses.Load() }
 
 // QueuedCycles returns total queueing delay accumulated.
-func (c *Controller) QueuedCycles() uint64 { return c.queuedCy }
+func (c *Controller) QueuedCycles() uint64 { return c.queuedCy.Load() }
 
 // Utilization returns the cumulative channel utilization observed.
 func (c *Controller) Utilization() float64 {
-	if c.horizon == 0 {
+	horizon := c.horizon.Load()
+	if horizon == 0 {
 		return 0
 	}
-	return float64(c.busy) / float64(c.horizon)
+	return float64(c.busy.Load()) / float64(horizon)
 }

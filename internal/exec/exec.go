@@ -367,6 +367,11 @@ type Report struct {
 	// Time is the completion time of the parallel region: cycles on the
 	// simulator, nanoseconds natively (max over threads).
 	Time uint64
+	// HostNs is the host wall-clock duration of the parallel region in
+	// nanoseconds, on both platforms (natively it equals Time). It feeds
+	// simulator-throughput metrics (simulated cycles per host second)
+	// and never enters the timing model.
+	HostNs uint64
 	// Breakdown decomposes thread time by component (simulator; the
 	// native platform fills Compute and Synchronization only).
 	Breakdown Breakdown

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -129,6 +130,119 @@ func TestMETISErrors(t *testing.T) {
 	d := FromEdges(3, []Edge{{From: 0, To: 1, Weight: 2}}, false)
 	if err := WriteMETIS(&bytes.Buffer{}, d); err == nil {
 		t.Error("asymmetric graph accepted by METIS writer")
+	}
+}
+
+// TestMETISHubLineBeyondMegabyte regression-tests the removal of the
+// readers' 1 MiB line cap: a single high-degree hub's adjacency row in a
+// METIS file easily exceeds it, and the old bufio.Scanner-based reader
+// rejected the file outright (bufio.ErrTooLong).
+func TestMETISHubLineBeyondMegabyte(t *testing.T) {
+	const n = 1 << 18 // star center with 262143 neighbors: ~2.3 MiB line
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{From: 0, To: int32(i), Weight: int32(i%9 + 1)})
+	}
+	g := FromEdges(n, edges, true)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 2<<20 {
+		t.Fatalf("test graph too small to exercise the cap: %d bytes", buf.Len())
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatalf("hub line rejected: %v", err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip %d/%d, want %d/%d", back.N, back.M(), g.N, g.M())
+	}
+	if w, ok := back.EdgeWeight(0, n-1); !ok || w != int32((n-1)%9+1) {
+		t.Fatalf("hub edge weight %d (%v)", w, ok)
+	}
+}
+
+// TestMatrixMarketLongCommentLine: comment lines are unbounded too.
+func TestMatrixMarketLongCommentLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("%%MatrixMarket matrix coordinate pattern general\n%")
+	sb.WriteString(strings.Repeat("x", 2<<20))
+	sb.WriteString("\n2 2 1\n1 2\n")
+	g, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 || !g.HasEdge(0, 1) {
+		t.Fatal("graph mangled by long comment")
+	}
+}
+
+func TestFormatsMalformedLines(t *testing.T) {
+	mm := []string{
+		"%%MatrixMarket matrix coordinate real general\na b c\n",                                       // garbage size line
+		"%%MatrixMarket matrix coordinate real general\n2 2\n",                                         // short size line
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",                                    // lone entry field
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 x\n",                                // bad weight
+		"%%MatrixMarket matrix coordinate real general\n",                                              // no size line
+		"%%MatrixMarket matrix coordinate real general\n99999999999999999999 99999999999999999999 1\n", // overflow
+	}
+	for i, in := range mm {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("MatrixMarket case %d accepted", i)
+		}
+	}
+	metis := []string{
+		"",                            // no header
+		"99999999999999999999 1\n1\n", // overflow vertex count
+		"2\n1\n2\n",                   // header missing edge count
+	}
+	for i, in := range metis {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("METIS case %d accepted", i)
+		}
+	}
+	// Windows line endings must parse identically.
+	g, err := ReadMETIS(strings.NewReader("3 2\r\n2 3\r\n1\r\n1\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 4 {
+		t.Fatalf("CRLF METIS: %d vertices %d edges", g.N, g.M())
+	}
+}
+
+func benchmarkInput(b *testing.B, write func(io.Writer, *CSR) error) []byte {
+	b.Helper()
+	g := UniformSparse(20000, 8, 100, 42)
+	var buf bytes.Buffer
+	if err := write(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadMETIS(b *testing.B) {
+	in := benchmarkInput(b, WriteMETIS)
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMETIS(bytes.NewReader(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadMatrixMarket(b *testing.B) {
+	in := benchmarkInput(b, WriteMatrixMarket)
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMatrixMarket(bytes.NewReader(in)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

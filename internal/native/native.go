@@ -243,6 +243,7 @@ func (p *Platform) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx
 		Platform:     p.Name(),
 		Threads:      threads,
 		Time:         elapsed,
+		HostNs:       elapsed,
 		Instructions: make([]uint64, threads),
 		ThreadTime:   make([]uint64, threads),
 	}

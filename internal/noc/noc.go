@@ -13,7 +13,10 @@
 // past" and serialize the whole machine.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // maxRho caps the utilization used in the queueing formula so a saturated
 // link models a deep (but finite) queue.
@@ -44,8 +47,13 @@ func (r Routing) String() string {
 	return "XY"
 }
 
-// Mesh is a W x H mesh of tiles. It is not safe for concurrent use; the
-// simulator serializes access behind its machine lock.
+// Mesh is a W x H mesh of tiles. Traverse is safe for concurrent use:
+// per-link utilization state is kept in atomics, so simulated cores on
+// different host threads inject packets without any shared lock. The
+// utilization model was already insensitive to packet presentation order
+// (see the package comment), which is what makes lock-free accumulation
+// semantically equivalent to the old serialized updates. SetRouting is
+// configuration-time only.
 type Mesh struct {
 	// Width and Height are the mesh dimensions.
 	Width, Height int
@@ -57,11 +65,11 @@ type Mesh struct {
 	// linkBusy[tile*4+dir] accumulates reserved flit-cycles on the
 	// directed link out of tile in direction dir; linkHorizon is the
 	// latest virtual time the link has observed.
-	linkBusy    []uint64
-	linkHorizon []uint64
-	queued      uint64
+	linkBusy    []atomic.Uint64
+	linkHorizon []atomic.Uint64
+	queued      atomic.Uint64
 	policy      Routing
-	packets     uint64
+	packets     atomic.Uint64
 }
 
 // Directions of mesh links.
@@ -87,9 +95,26 @@ func New(tiles int, hopCycles uint64, flitBits int) (*Mesh, error) {
 		Height:      w,
 		HopCycles:   hopCycles,
 		FlitBits:    flitBits,
-		linkBusy:    make([]uint64, tiles*4),
-		linkHorizon: make([]uint64, tiles*4),
+		linkBusy:    make([]atomic.Uint64, tiles*4),
+		linkHorizon: make([]atomic.Uint64, tiles*4),
 	}, nil
+}
+
+// MaxTo atomically raises *a to at least v and returns the resulting
+// value, max(previous, v) — the lock-free equivalent of the horizon
+// updates the utilization models perform ("if t > horizon { horizon = t }"
+// followed by a read). Exported for the sibling analytical models that
+// share the same horizon discipline (dram, the simulator's MCP).
+func MaxTo(a *atomic.Uint64, v uint64) uint64 {
+	for {
+		old := a.Load()
+		if v <= old {
+			return old
+		}
+		if a.CompareAndSwap(old, v) {
+			return v
+		}
+	}
 }
 
 func intSqrt(n int) int {
@@ -162,19 +187,21 @@ func (m *Mesh) Traverse(a, b int, bits int, start uint64) (arrival uint64, flitH
 		return start, 0
 	}
 	flits := uint64(m.Flits(bits))
-	m.packets++
-	yFirst := m.policy == RouteYX || (m.policy == RouteOblivious && m.packets%2 == 1)
+	pkt := m.packets.Add(1)
+	yFirst := m.policy == RouteYX || (m.policy == RouteOblivious && pkt%2 == 1)
 	t := start
 	cur := a
 	for cur != b {
 		next, dir := m.dimNext(cur, b, yFirst)
 		idx := cur*4 + dir
-		if t > m.linkHorizon[idx] {
-			m.linkHorizon[idx] = t
-		}
-		wait := QueueDelay(m.linkBusy[idx], m.linkHorizon[idx], flits)
-		m.queued += wait
-		m.linkBusy[idx] += flits
+		// Same arithmetic as the serialized model: raise the horizon,
+		// price the queueing delay against the utilization *before* this
+		// packet's reservation, then reserve. Add returns the post-add
+		// value, so subtracting flits recovers the pre-reservation busy.
+		horizon := MaxTo(&m.linkHorizon[idx], t)
+		busy := m.linkBusy[idx].Add(flits) - flits
+		wait := QueueDelay(busy, horizon, flits)
+		m.queued.Add(wait)
 		t += wait + m.HopCycles
 		flitHops += int(flits)
 		cur = next
@@ -224,11 +251,11 @@ func (m *Mesh) RoundTrip(a, b int) uint64 {
 // delay charged, the busiest link's reserved flit-cycles, and that link's
 // index (tile*4 + direction).
 func (m *Mesh) DebugStats() (queuedCycles uint64, busiestBusy uint64, busiest int) {
-	for i, v := range m.linkBusy {
-		if v > busiestBusy {
+	for i := range m.linkBusy {
+		if v := m.linkBusy[i].Load(); v > busiestBusy {
 			busiestBusy = v
 			busiest = i
 		}
 	}
-	return m.queued, busiestBusy, busiest
+	return m.queued.Load(), busiestBusy, busiest
 }

@@ -110,9 +110,19 @@ type Config struct {
 	// LocalityAware enables the Section VII locality-aware coherence
 	// ablation: a line is not allocated in the private L1 until a core
 	// has touched it LocalityThreshold times; colder accesses are served
-	// remotely at the home L2 with a word-granularity round trip.
+	// remotely at the home L2 with a word-granularity round trip. The
+	// per-line touch counters are 8-bit, so the threshold must lie in
+	// [1, 255] (Validate enforces this).
 	LocalityAware     bool
 	LocalityThreshold int
+
+	// SerialMemory reinstates the pre-sharding global memory-system lock:
+	// every simulated memory reference and MCP transaction serializes
+	// behind one mutex, regardless of which core or home tile it touches.
+	// Model outputs are unchanged — only host-side parallelism is lost.
+	// It exists as the in-tree baseline for simulator-throughput
+	// comparisons (crono-bench -mode sim); leave it off otherwise.
+	SerialMemory bool
 
 	// Energy is the 11 nm per-event energy model.
 	Energy energy.Model
@@ -166,6 +176,12 @@ func (c Config) Validate() error {
 	}
 	if c.DirPointers < 1 {
 		return fmt.Errorf("sim: directory pointers %d", c.DirPointers)
+	}
+	if c.LocalityAware && (c.LocalityThreshold < 1 || c.LocalityThreshold > 255) {
+		// The reuse counters are uint8: a threshold past 255 could never
+		// be reached (the counter saturates below it), silently pinning
+		// every access to remote service.
+		return fmt.Errorf("sim: locality threshold %d out of [1, 255]", c.LocalityThreshold)
 	}
 	return nil
 }

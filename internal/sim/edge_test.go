@@ -183,11 +183,11 @@ func TestHierarchyInclusionInvariant(t *testing.T) {
 	for l := base; l < base+lines; l++ {
 		holders := 0
 		for core := 0; core < cfg.Cores; core++ {
-			if m.l1[core].Peek(l) != 0 {
+			if m.cores[core].l1.Peek(l) != 0 {
 				holders++
 			}
 		}
-		if holders > 0 && m.dir.Sharers(l) == 0 {
+		if holders > 0 && m.dirs.Stripe(l).Sharers(l) == 0 {
 			t.Fatalf("line %d cached by %d cores but idle in directory", l, holders)
 		}
 	}

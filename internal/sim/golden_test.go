@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"crono/internal/exec"
+)
+
+// goldenFingerprint reduces a single-thread report to a canonical string
+// covering every externally visible model output: completion time, the
+// full breakdown, cache statistics, instruction and flit-hop counts, and
+// the energy components. Floating-point energy is formatted at fixed
+// precision; single-thread runs evaluate the same float operations in
+// the same order, so the digits are stable.
+func goldenFingerprint(rep *exec.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time=%d", rep.Time)
+	fmt.Fprintf(&b, " brk=%v", rep.Breakdown)
+	fmt.Fprintf(&b, " l1a=%d l1m=%v l2a=%d l2m=%d",
+		rep.Cache.L1DAccesses, rep.Cache.L1DMisses, rep.Cache.L2Accesses, rep.Cache.L2Misses)
+	fmt.Fprintf(&b, " instr=%d flits=%d", rep.TotalInstructions(), rep.NetworkFlitHops)
+	fmt.Fprintf(&b, " energy=%.3f", rep.Energy.Total())
+	return b.String()
+}
+
+// goldenWorkloads are deterministic single-thread workloads spanning the
+// model's feature surface. The expected fingerprints were captured from
+// the pre-sharding global-lock simulator; the sharded memory system must
+// reproduce them bit-for-bit on one thread.
+var goldenWorkloads = []struct {
+	name string
+	cfg  func() Config
+	body func(m *Machine) *exec.Report
+	want string
+}{
+	{
+		name: "mixed-loads-stores",
+		cfg:  smallConfig,
+		body: func(m *Machine) *exec.Report {
+			r := m.Alloc("x", 8192, 4)
+			return m.Run(1, func(c exec.Ctx) {
+				for i := 0; i < 5000; i++ {
+					a := (i * 131) % 8192
+					if i%3 == 0 {
+						c.Store(r.At(a))
+					} else {
+						c.Load(r.At(a))
+					}
+				}
+			})
+		},
+		want: "time=77197 brk=[5000 10240 0 0 61957 0] l1a=5000 l1m=[512 0 0] l2a=512 l2m=512 instr=5000 flits=30720 energy=510080.000",
+	},
+	{
+		name: "sync-and-spans",
+		cfg:  smallConfig,
+		body: func(m *Machine) *exec.Report {
+			r := m.Alloc("x", 4096, 8)
+			l := m.NewLock()
+			bar := m.NewBarrier(1)
+			return m.Run(1, func(c exec.Ctx) {
+				for i := 0; i < 50; i++ {
+					c.Lock(l)
+					c.Store(r.At(i))
+					c.Unlock(l)
+					c.LoadSpan(r.At(0), 512, 8)
+					c.StoreSpan(r.At(512), 100, 8)
+					c.Compute(37)
+					c.Active(1)
+					c.Barrier(bar)
+					c.Active(-1)
+				}
+			})
+		},
+		want: "time=47192 brk=[32600 1544 0 0 9447 3601] l1a=30750 l1m=[78 0 0] l2a=78 l2m=78 instr=32600 flits=4656 energy=568464.000",
+	},
+	{
+		name: "locality-aware",
+		cfg: func() Config {
+			cfg := smallConfig()
+			cfg.LocalityAware = true
+			cfg.LocalityThreshold = 4
+			return cfg
+		},
+		body: func(m *Machine) *exec.Report {
+			lines := 2 * m.Config().L1DSizeB / m.Config().LineBytes
+			r := m.Alloc("stream", lines*16, 4)
+			return m.Run(1, func(c exec.Ctx) {
+				for p := 0; p < 6; p++ {
+					for i := 0; i < lines; i++ {
+						if p%2 == 0 {
+							c.Load(r.At(i * 16))
+						} else {
+							c.Store(r.At(i * 16))
+						}
+					}
+				}
+			})
+		},
+		want: "time=253157 brk=[6144 123109 0 0 123904 0] l1a=6144 l1m=[1024 1024 0] l2a=6144 l2m=1024 instr=6144 flits=175104 energy=1973760.000",
+	},
+	{
+		name: "prefetch-ooo",
+		cfg: func() Config {
+			cfg := smallConfig()
+			cfg.NextLinePrefetch = true
+			cfg.CoreType = OutOfOrder
+			return cfg
+		},
+		body: func(m *Machine) *exec.Report {
+			r := m.Alloc("stream", 1<<14, 4)
+			return m.Run(1, func(c exec.Ctx) {
+				for pass := 0; pass < 2; pass++ {
+					for i := 0; i < 1<<14; i += 16 {
+						c.Load(r.At(i))
+					}
+				}
+			})
+		},
+		want: "time=50559 brk=[2048 10687 0 0 37824 0] l1a=2048 l1m=[1024 512 0] l2a=1536 l2m=1024 instr=2048 flits=95744 energy=1167104.000",
+	},
+}
+
+// TestGoldenSingleThreadBitIdentical pins the single-thread model output
+// to the exact values produced by the pre-sharding simulator. Run with
+// CRONO_GOLDEN_GEN=1 to print current fingerprints instead of asserting
+// (used once to capture the baseline; any future intentional model change
+// must regenerate and justify these).
+func TestGoldenSingleThreadBitIdentical(t *testing.T) {
+	gen := os.Getenv("CRONO_GOLDEN_GEN") != ""
+	for _, w := range goldenWorkloads {
+		t.Run(w.name, func(t *testing.T) {
+			m := mustMachine(t, w.cfg())
+			got := goldenFingerprint(w.body(m))
+			if gen {
+				fmt.Printf("GOLDEN %s: %s\n", w.name, got)
+				return
+			}
+			if got != w.want {
+				t.Errorf("single-thread output drifted from the global-lock baseline\n got: %s\nwant: %s", got, w.want)
+			}
+		})
+	}
+}

@@ -27,28 +27,69 @@ const (
 	dispPresent     = 3 // currently (or last known) resident
 )
 
+// reuseSaturation caps the per-line reuse counters of locality-aware
+// mode: the counters are uint8, so an unchecked increment wraps at 255
+// and a high threshold would demote a hot line back to remote service
+// forever. Config.Validate rejects thresholds past this cap; the clamp
+// keeps the counter sane even so.
+const reuseSaturation = 255
+
 // Machine is the simulated multicore. Create one per experiment run with
 // New; it implements exec.Platform.
+//
+// # Locking discipline
+//
+// Shared model state is sharded so concurrently executing simulated
+// cores only contend where the modeled hardware would:
+//
+//   - cores[c] (private L1 tags, miss dispositions, reuse counters) is
+//     guarded by that core's lock (cores[c].l1.Mutex). A pure L1 hit
+//     takes only this lock — the fast path.
+//   - homes[h] (L2 slice tags, directory stripe, per-line occupancy
+//     stats) is guarded by that home tile's lock (homes[h].l2.Mutex).
+//     Misses to lines homed on different tiles proceed in parallel.
+//   - NoC link state, DRAM-controller state and the MCP aggregates are
+//     atomics; mesh.Traverse and dram.Access need no lock at all.
+//
+// Lock order is home stripe -> core, globally: a transaction holding a
+// home lock may take core locks one at a time (its own for the L1 fill,
+// any sharer's for invalidations), but never a second home lock and
+// never two core locks at once, so the hierarchy is deadlock-free. Code
+// that holds only its own core lock (the hit fast path) and needs the
+// home must release the core lock first and re-verify after reacquiring
+// in order (see upgradeExclusive). L1 replacement victims are homed on
+// arbitrary tiles, so their directory/write-back cleanup is deferred
+// until the filling transaction's home lock is released (dropL1Victim),
+// as is the next-line prefetch, whose target is homed on the next tile.
 type Machine struct {
 	cfg  Config
 	mesh *noc.Mesh
-	dir  *coherence.Dir
+	dirs *coherence.Sharded
 
-	mu     sync.Mutex // guards all shared model state below
-	l1     []*cache.Cache
-	l2     []*cache.Cache
+	cores []coreShard // per-core private state, indexed by core
+	homes []homeShard // per-home-tile shared state, indexed by tile
+
 	mcs    []*dram.Controller
 	mcTile []int
-	lines  map[uint64]*lineStat // per-line home-serialization stats
-	disp   []map[uint64]byte    // per-core line dispositions
-	reuse  []map[uint64]uint8
-	extra  energy.Counter // events not tied to one thread (write-backs)
+
+	// extra accumulates energy events not tied to one thread (L2 victim
+	// write-backs). It is the only cross-core aggregate still behind a
+	// mutex, and it sits off the hot path.
+	extraMu sync.Mutex
+	extra   energy.Counter
+
+	// serialMu reinstates the pre-sharding global memory-system lock
+	// when cfg.SerialMemory is set: every memory-system transaction
+	// serializes behind it and the sharded locks underneath run
+	// uncontended. It exists purely as the in-tree baseline for
+	// crono-bench's simulator-throughput comparison.
+	serialMu sync.Mutex
 
 	allocMu   sync.Mutex
 	allocNext exec.Addr
 
-	mcpBusy    uint64 // cumulative MCP service demand (guarded by mu)
-	mcpHorizon uint64
+	mcpBusy    atomic.Uint64 // cumulative MCP service demand
+	mcpHorizon atomic.Uint64
 
 	// Lax-synchronization window state: published per-thread virtual
 	// clocks (blockedClock while waiting on real synchronization) and a
@@ -67,6 +108,27 @@ type Machine struct {
 	lineBits       uint
 	barrierArrival uint64 // serialized cost per barrier arrival
 	barrierRelease uint64 // barrier release broadcast cost
+}
+
+// coreShard is the slice of model state owned by one simulated core. The
+// embedded mutex of l1 is the core lock; it guards l1, disp and reuse
+// together. Remote transactions (invalidations, L2 back-invalidations)
+// take it briefly, always nested inside a home-stripe lock.
+type coreShard struct {
+	l1    *cache.Locked
+	disp  map[uint64]byte  // line dispositions for miss classification
+	reuse map[uint64]uint8 // locality-aware touch counters
+}
+
+// homeShard is one home tile's slice of shared model state. The embedded
+// mutex of l2 is the home-stripe lock; it guards l2, the directory
+// stripe and the lineStat map together. Exactly the lines with
+// line % Cores == tile are homed here, so one lock covers every
+// structure a home-tile transaction touches.
+type homeShard struct {
+	l2    *cache.Locked
+	dir   *coherence.Dir
+	lines map[uint64]*lineStat // per-line home-serialization stats
 }
 
 var _ exec.Platform = (*Machine)(nil)
@@ -92,34 +154,35 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	mesh.SetRouting(cfg.Routing)
-	dir, err := coherence.New(cfg.DirPointers, cfg.Cores)
+	dirs, err := coherence.NewSharded(cfg.DirPointers, cfg.Cores, cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
 		cfg:      cfg,
 		mesh:     mesh,
-		dir:      dir,
-		l1:       make([]*cache.Cache, cfg.Cores),
-		l2:       make([]*cache.Cache, cfg.Cores),
+		dirs:     dirs,
+		cores:    make([]coreShard, cfg.Cores),
+		homes:    make([]homeShard, cfg.Cores),
 		mcs:      make([]*dram.Controller, cfg.MemControllers),
 		mcTile:   make([]int, cfg.MemControllers),
-		lines:    make(map[uint64]*lineStat),
-		disp:     make([]map[uint64]byte, cfg.Cores),
-		reuse:    make([]map[uint64]uint8, cfg.Cores),
 		lineBits: 6,
 	}
 	for c := 0; c < cfg.Cores; c++ {
-		if m.l1[c], err = cache.New(cfg.L1DSizeB, cfg.L1DWays, cfg.LineBytes); err != nil {
+		cs := &m.cores[c]
+		if cs.l1, err = cache.NewLocked(cfg.L1DSizeB, cfg.L1DWays, cfg.LineBytes); err != nil {
 			return nil, err
 		}
-		if m.l2[c], err = cache.New(cfg.L2SliceSizeB, cfg.L2Ways, cfg.LineBytes); err != nil {
-			return nil, err
-		}
-		m.disp[c] = make(map[uint64]byte)
+		cs.disp = make(map[uint64]byte)
 		if cfg.LocalityAware {
-			m.reuse[c] = make(map[uint64]uint8)
+			cs.reuse = make(map[uint64]uint8)
 		}
+		hs := &m.homes[c]
+		if hs.l2, err = cache.NewLocked(cfg.L2SliceSizeB, cfg.L2Ways, cfg.LineBytes); err != nil {
+			return nil, err
+		}
+		hs.dir = dirs.StripeAt(c)
+		hs.lines = make(map[uint64]*lineStat)
 	}
 	for i := 0; i < cfg.MemControllers; i++ {
 		if m.mcs[i], err = dram.New(cfg.ClockHz, cfg.DRAMBandwidthBs, cfg.DRAMLatencyNs); err != nil {
@@ -193,6 +256,9 @@ func (m *Machine) Alloc(name string, elems, elemSize int) exec.Region {
 
 func (m *Machine) home(line uint64) int { return int(line % uint64(m.cfg.Cores)) }
 
+// homeShardOf returns the home-tile shard owning line.
+func (m *Machine) homeShardOf(line uint64) *homeShard { return &m.homes[m.home(line)] }
+
 // l2Index maps a global line address to its slot within the home slice's
 // tag array. Lines reaching a slice all share the same residue modulo the
 // core count, so dividing by it removes the aliasing that would otherwise
@@ -223,11 +289,13 @@ type lineStat struct {
 	count   uint64 // transactions served
 }
 
-func (m *Machine) lineStat(line uint64) *lineStat {
-	ls := m.lines[line]
+// lineStat returns (allocating if needed) the stats of a line homed on
+// this shard. Caller holds the home-stripe lock.
+func (hs *homeShard) lineStat(line uint64) *lineStat {
+	ls := hs.lines[line]
 	if ls == nil {
 		ls = &lineStat{}
-		m.lines[line] = ls
+		hs.lines[line] = ls
 	}
 	return ls
 }
@@ -457,54 +525,76 @@ func (c *ctx) access(addr exec.Addr, write bool) {
 	c.energy.L1DAccesses++
 	c.stats.L1DAccesses++
 
-	line := addr >> m.lineBits
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	st := m.l1[c.core].Lookup(line)
-	if st != cache.Invalid && (!write || st == cache.Modified || st == cache.Exclusive) {
-		if write && st == cache.Exclusive {
-			// Silent E->M upgrade.
-			m.l1[c.core].SetState(line, cache.Modified)
-			m.dir.Write(line, c.core)
-		}
-		return
+	if m.cfg.SerialMemory {
+		m.serialMu.Lock()
+		defer m.serialMu.Unlock()
 	}
 
-	if m.cfg.LocalityAware && st == cache.Invalid {
-		r := m.reuse[c.core]
-		if int(r[line]) < m.cfg.LocalityThreshold {
-			r[line]++
-			c.remoteAccess(line, write)
+	line := addr >> m.lineBits
+	cs := &m.cores[c.core]
+	hs := m.homeShardOf(line)
+
+	for {
+		cs.l1.Lock()
+		st := cs.l1.Lookup(line)
+		if st != cache.Invalid && (!write || st == cache.Modified) {
+			// Pure L1 hit: the core lock is the only lock taken.
+			cs.l1.Unlock()
 			return
 		}
-	}
-
-	if st == cache.Invalid {
-		// True L1 miss: classify per Section IV-D.
-		cl := exec.MissCold
-		switch m.disp[c.core][line] {
-		case dispEvicted:
-			cl = exec.MissCapacity
-		case dispInvalidated:
-			cl = exec.MissSharing
+		if write && st == cache.Exclusive {
+			// Silent E->M upgrade: the directory dirty bit lives under
+			// the home-stripe lock, and home locks order before core
+			// locks, so drop the core lock and redo the pair in order.
+			cs.l1.Unlock()
+			if c.upgradeExclusive(cs, hs, line) {
+				return
+			}
+			// A concurrent transaction stole the line between the two
+			// lock scopes; retry the whole reference.
+			continue
 		}
-		c.stats.L1DMisses[cl]++
+
+		if m.cfg.LocalityAware && st == cache.Invalid {
+			if int(cs.reuse[line]) < m.cfg.LocalityThreshold {
+				if v := cs.reuse[line]; v < reuseSaturation {
+					cs.reuse[line] = v + 1
+				}
+				cs.l1.Unlock()
+				c.remoteAccess(line, write)
+				return
+			}
+		}
+
+		if st == cache.Invalid {
+			// True L1 miss: classify per Section IV-D.
+			cl := exec.MissCold
+			switch cs.disp[line] {
+			case dispEvicted:
+				cl = exec.MissCapacity
+			case dispInvalidated:
+				cl = exec.MissSharing
+			}
+			c.stats.L1DMisses[cl]++
+		}
+		// st == Shared && write is an upgrade: not a miss, but it travels
+		// to the home tile for invalidations like one.
+		cs.l1.Unlock()
+		break
 	}
-	// st == Shared && write is an upgrade: not a miss, but it travels to
-	// the home tile for invalidations like one.
 
 	start := c.now
 	home := m.home(line)
 
-	// Request to the home tile.
+	// Request to the home tile (link state is atomic: no lock).
 	t, fh := m.mesh.Traverse(c.core, home, m.cfg.CtrlPacketBits, start)
 	c.energy.FlitHops += uint64(fh)
 
+	hs.l2.Lock()
+
 	// Home serialization: requests to the same line queue up
 	// (L2Home-Waiting).
-	ls := m.lineStat(line)
+	ls := hs.lineStat(line)
 	wait := ls.lineWait(t)
 	busy := t + wait
 	txnStart := busy
@@ -517,9 +607,9 @@ func (c *ctx) access(addr exec.Addr, write bool) {
 
 	// Off-chip fill on L2 miss.
 	var offchip uint64
-	if m.l2[home].Lookup(m.l2Index(line)) == cache.Invalid {
+	if hs.l2.Lookup(m.l2Index(line)) == cache.Invalid {
 		c.stats.L2Misses++
-		t2 := c.fillFromDRAM(line, home, t)
+		t2 := c.fillFromDRAM(hs, line, home, t)
 		offchip = t2 - t
 		t = t2
 	}
@@ -527,11 +617,11 @@ func (c *ctx) access(addr exec.Addr, write bool) {
 	// Coherence actions (L2Home-Sharers).
 	var act coherence.Action
 	if write {
-		act = m.dir.Write(line, c.core)
+		act = hs.dir.Write(line, c.core)
 	} else {
-		act = m.dir.Read(line, c.core)
+		act = hs.dir.Read(line, c.core)
 	}
-	sharers := c.applyCoherence(line, home, act, write)
+	sharers := c.applyCoherence(hs, line, home, act, write)
 	t += sharers
 
 	// The home transaction completes; record its occupancy for later
@@ -544,24 +634,31 @@ func (c *ctx) access(addr exec.Addr, write bool) {
 	t4, fh := m.mesh.Traverse(home, c.core, dataBits, t)
 	c.energy.FlitHops += uint64(fh)
 
-	// Fill the private L1.
+	// Fill the private L1 while still holding the home stripe: releasing
+	// first would let another core's write invalidate a copy that is not
+	// inserted yet, losing the invalidation. Home -> core nesting is the
+	// global lock order.
 	grant := cache.Shared
 	if write {
 		grant = cache.Modified
-	} else if m.dir.Owner(line) == c.core {
+	} else if hs.dir.Owner(line) == c.core {
 		grant = cache.Exclusive
 	}
-	if v, ok := m.l1[c.core].Insert(line, grant); ok {
-		m.dir.Evict(v.Line, c.core)
-		m.disp[c.core][v.Line] = dispEvicted
-		if v.State == cache.Modified {
-			c.writeBack(v.Line, c.core)
-		}
-	}
-	m.disp[c.core][line] = dispPresent
+	cs.l1.Lock()
+	v, evicted := cs.l1.Insert(line, grant)
+	cs.disp[line] = dispPresent
+	cs.l1.Unlock()
+	hs.l2.Unlock()
 
+	// The victim is homed on an arbitrary tile and two home stripes
+	// never nest, so its cleanup runs after this transaction's home lock
+	// is released. Likewise the prefetch: line+1 is homed on a different
+	// tile.
+	if evicted {
+		c.dropL1Victim(cs, v)
+	}
 	if m.cfg.NextLinePrefetch && !write {
-		c.prefetchNextLine(line)
+		c.prefetchNextLine(cs, line)
 	}
 
 	// Attribute the stall (lax virtual time).
@@ -580,9 +677,34 @@ func (c *ctx) access(addr exec.Addr, write bool) {
 	c.now = start + l1l2 + wait + sharers + offchip
 }
 
+// upgradeExclusive performs the silent E->M upgrade under the proper
+// home -> core lock order, re-verifying the state observed by the
+// lock-free fast path. It reports whether the upgrade completed; false
+// means a concurrent transaction took the line between the fast path's
+// core-lock scope and this one, and the caller must retry the reference.
+// Single-threaded the verification never fails (an Exclusive L1 line
+// implies directory ownership), so the operation sequence is exactly the
+// pre-sharding SetState + Write.
+func (c *ctx) upgradeExclusive(cs *coreShard, hs *homeShard, line uint64) bool {
+	hs.l2.Lock()
+	if hs.dir.Owner(line) != c.core {
+		hs.l2.Unlock()
+		return false
+	}
+	cs.l1.Lock()
+	ok := cs.l1.Peek(line) == cache.Exclusive
+	if ok {
+		cs.l1.SetState(line, cache.Modified)
+		hs.dir.Write(line, c.core) // owner write: sets the dirty bit only
+	}
+	cs.l1.Unlock()
+	hs.l2.Unlock()
+	return ok
+}
+
 // fillFromDRAM fetches line into home's L2 slice starting at cycle t and
-// returns the completion cycle. Caller holds m.mu.
-func (c *ctx) fillFromDRAM(line uint64, home int, t uint64) uint64 {
+// returns the completion cycle. Caller holds hs's home-stripe lock.
+func (c *ctx) fillFromDRAM(hs *homeShard, line uint64, home int, t uint64) uint64 {
 	m := c.m
 	mc := m.controller(line)
 	ta, fh := m.mesh.Traverse(home, m.mcTile[mc], m.cfg.CtrlPacketBits, t)
@@ -591,36 +713,40 @@ func (c *ctx) fillFromDRAM(line uint64, home int, t uint64) uint64 {
 	c.energy.DRAMAccesses++
 	tb, fh := m.mesh.Traverse(m.mcTile[mc], home, m.cfg.CtrlPacketBits+8*m.cfg.LineBytes, done)
 	c.energy.FlitHops += uint64(fh)
-	if v, ok := m.l2[home].Insert(m.l2Index(line), cache.Shared); ok {
-		c.dropL2Victim(v, home)
+	if v, ok := hs.l2.Insert(m.l2Index(line), cache.Shared); ok {
+		c.dropL2Victim(hs, v, home)
 	}
 	return tb
 }
 
 // dropL2Victim back-invalidates private copies of an inclusively evicted
-// L2 line and writes dirty data off chip. Caller holds m.mu.
-func (c *ctx) dropL2Victim(v cache.Victim, home int) {
+// L2 line and writes dirty data off chip. Caller holds hs's home-stripe
+// lock; sharer core locks are taken one at a time underneath it. The
+// victim is homed on this same tile (every line in a slice is), so its
+// directory entry lives in hs.dir.
+func (c *ctx) dropL2Victim(hs *homeShard, v cache.Victim, home int) {
 	m := c.m
 	line := m.l2Unindex(v.Line, home) // tag arrays store slice-local indices
-	cores, broadcast := m.dir.DropLine(line)
+	cores, broadcast := hs.dir.DropLine(line)
 	dirty := v.State == cache.Modified
+	inval := func(core int) {
+		cs := &m.cores[core]
+		cs.l1.Lock()
+		if st := cs.l1.Invalidate(line); st != cache.Invalid {
+			cs.disp[line] = dispEvicted
+			if st == cache.Modified {
+				dirty = true
+			}
+		}
+		cs.l1.Unlock()
+	}
 	if broadcast {
 		for core := 0; core < m.cfg.Cores; core++ {
-			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
-				m.disp[core][line] = dispEvicted
-				if st == cache.Modified {
-					dirty = true
-				}
-			}
+			inval(core)
 		}
 	} else {
 		for _, core := range cores {
-			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
-				m.disp[core][line] = dispEvicted
-				if st == cache.Modified {
-					dirty = true
-				}
-			}
+			inval(core)
 		}
 	}
 	if dirty {
@@ -628,25 +754,42 @@ func (c *ctx) dropL2Victim(v cache.Victim, home int) {
 		// and energy but stalls nobody.
 		mc := m.controller(line)
 		m.mcs[mc].Access(c.now, m.cfg.LineBytes)
+		m.extraMu.Lock()
 		m.extra.DRAMAccesses++
 		m.extra.FlitHops += uint64(m.mesh.Hops(home, m.mcTile[mc]) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+		m.extraMu.Unlock()
 	}
 }
 
-// writeBack models an L1 dirty-victim write-back to the home L2 slice:
-// bandwidth and energy only, off the critical path. Caller holds m.mu.
-func (c *ctx) writeBack(line uint64, from int) {
+// dropL1Victim retires an L1 replacement victim at its own home tile:
+// the directory drops this core's pointer and a Modified victim models a
+// write-back into the home L2 slice (bandwidth and energy only, off the
+// critical path). Caller holds no locks; the victim's home stripe and
+// this core's lock are taken in order.
+func (c *ctx) dropL1Victim(cs *coreShard, v cache.Victim) {
 	m := c.m
+	line := v.Line
 	home := m.home(line)
-	c.energy.FlitHops += uint64(m.mesh.Hops(from, home) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
-	c.energy.L2Accesses++
-	m.l2[home].SetState(m.l2Index(line), cache.Modified) // L2 copy now dirty
+	hs := &m.homes[home]
+	hs.l2.Lock()
+	hs.dir.Evict(line, c.core)
+	cs.l1.Lock()
+	cs.disp[line] = dispEvicted
+	cs.l1.Unlock()
+	if v.State == cache.Modified {
+		c.energy.FlitHops += uint64(m.mesh.Hops(c.core, home) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+		c.energy.L2Accesses++
+		hs.l2.SetState(m.l2Index(line), cache.Modified) // L2 copy now dirty
+	}
+	hs.l2.Unlock()
 }
 
 // applyCoherence performs invalidations/downgrades demanded by act and
 // returns the L2Home-Sharers latency: the round trip to the farthest
-// involved sharer (invalidations proceed in parallel). Caller holds m.mu.
-func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write bool) uint64 {
+// involved sharer (invalidations proceed in parallel). Caller holds hs's
+// home-stripe lock and no core lock; sharer core locks are taken one at
+// a time underneath it.
+func (c *ctx) applyCoherence(hs *homeShard, line uint64, home int, act coherence.Action, write bool) uint64 {
 	m := c.m
 	var worst uint64
 	touch := func(core int) {
@@ -659,15 +802,18 @@ func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write 
 	}
 	if act.FetchFrom >= 0 && act.FetchFrom != c.core {
 		touch(act.FetchFrom)
+		fs := &m.cores[act.FetchFrom]
+		fs.l1.Lock()
 		if write {
-			if st := m.l1[act.FetchFrom].Invalidate(line); st != cache.Invalid {
-				m.disp[act.FetchFrom][line] = dispInvalidated
+			if st := fs.l1.Invalidate(line); st != cache.Invalid {
+				fs.disp[line] = dispInvalidated
 			}
 		} else {
-			m.l1[act.FetchFrom].SetState(line, cache.Shared)
+			fs.l1.SetState(line, cache.Shared)
 		}
+		fs.l1.Unlock()
 		if act.Dirty {
-			m.l2[home].SetState(m.l2Index(line), cache.Modified)
+			hs.l2.SetState(m.l2Index(line), cache.Modified)
 			c.energy.L2Accesses++
 		}
 	}
@@ -676,9 +822,12 @@ func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write 
 			continue
 		}
 		touch(s)
-		if st := m.l1[s].Invalidate(line); st != cache.Invalid {
-			m.disp[s][line] = dispInvalidated
+		ss := &m.cores[s]
+		ss.l1.Lock()
+		if st := ss.l1.Invalidate(line); st != cache.Invalid {
+			ss.disp[line] = dispInvalidated
 		}
+		ss.l1.Unlock()
 	}
 	if act.Broadcast {
 		// Overflowed ACKWise pointers: invalidate every private copy;
@@ -692,10 +841,13 @@ func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write 
 			if core == c.core {
 				continue
 			}
-			if st := m.l1[core].Invalidate(line); st != cache.Invalid {
-				m.disp[core][line] = dispInvalidated
+			bs := &m.cores[core]
+			bs.l1.Lock()
+			if st := bs.l1.Invalidate(line); st != cache.Invalid {
+				bs.disp[line] = dispInvalidated
 				c.energy.FlitHops += uint64(2*m.mesh.Hops(home, core)) * flits
 			}
+			bs.l1.Unlock()
 		}
 	}
 	return worst
@@ -704,48 +856,59 @@ func (c *ctx) applyCoherence(line uint64, home int, act coherence.Action, write 
 // prefetchNextLine models a next-line L1 prefetcher: after a demand read
 // miss, the following line is brought into the L1 off the critical path
 // when it is already on chip and not exclusively owned elsewhere. Energy
-// is charged; no time is. Caller holds m.mu.
-func (c *ctx) prefetchNextLine(line uint64) {
+// is charged; no time is. Caller holds no locks — line+1 is homed on a
+// different tile than line, so the prefetch runs as its own home-stripe
+// transaction.
+func (c *ctx) prefetchNextLine(cs *coreShard, line uint64) {
 	m := c.m
 	nl := line + 1
-	if m.l1[c.core].Peek(nl) != cache.Invalid {
+	cs.l1.Lock()
+	present := cs.l1.Peek(nl) != cache.Invalid
+	cs.l1.Unlock()
+	if present {
 		return
 	}
 	home := m.home(nl)
-	if m.l2[home].Peek(m.l2Index(nl)) == cache.Invalid {
+	hs := &m.homes[home]
+	hs.l2.Lock()
+	if hs.l2.Peek(m.l2Index(nl)) == cache.Invalid {
+		hs.l2.Unlock()
 		return // never prefetch off chip
 	}
-	if m.dir.Owner(nl) >= 0 {
+	if hs.dir.Owner(nl) >= 0 {
+		hs.l2.Unlock()
 		return // never disturb an exclusive owner
 	}
-	m.dir.Read(nl, c.core)
+	hs.dir.Read(nl, c.core)
 	grant := cache.Shared
-	if m.dir.Owner(nl) == c.core {
+	if hs.dir.Owner(nl) == c.core {
 		grant = cache.Exclusive
 	}
-	if v, ok := m.l1[c.core].Insert(nl, grant); ok {
-		m.dir.Evict(v.Line, c.core)
-		m.disp[c.core][v.Line] = dispEvicted
-		if v.State == cache.Modified {
-			c.writeBack(v.Line, c.core)
-		}
-	}
-	m.disp[c.core][nl] = dispPresent
+	cs.l1.Lock()
+	v, evicted := cs.l1.Insert(nl, grant)
+	cs.disp[nl] = dispPresent
+	cs.l1.Unlock()
+	hs.l2.Unlock()
 	c.energy.L2Accesses++
 	c.energy.DirAccesses++
 	c.energy.FlitHops += uint64(m.mesh.Hops(c.core, home) * m.mesh.Flits(m.cfg.CtrlPacketBits+8*m.cfg.LineBytes))
+	if evicted {
+		c.dropL1Victim(cs, v)
+	}
 }
 
 // remoteAccess serves a low-locality reference at the home tile without
 // allocating it in the private L1 (locality-aware coherence ablation,
-// Section VII-A).
+// Section VII-A). Caller holds no locks.
 func (c *ctx) remoteAccess(line uint64, write bool) {
 	m := c.m
 	start := c.now
 	home := m.home(line)
+	hs := &m.homes[home]
 	t, fh := m.mesh.Traverse(c.core, home, m.cfg.CtrlPacketBits, start)
 	c.energy.FlitHops += uint64(fh)
-	ls := m.lineStat(line)
+	hs.l2.Lock()
+	ls := hs.lineStat(line)
 	wait := ls.lineWait(t)
 	busy := t + wait
 	txnStart := busy
@@ -754,23 +917,24 @@ func (c *ctx) remoteAccess(line uint64, write bool) {
 	c.energy.DirAccesses++
 	c.stats.L2Accesses++
 	var offchip uint64
-	if m.l2[home].Lookup(m.l2Index(line)) == cache.Invalid {
+	if hs.l2.Lookup(m.l2Index(line)) == cache.Invalid {
 		c.stats.L2Misses++
-		t2 := c.fillFromDRAM(line, home, t)
+		t2 := c.fillFromDRAM(hs, line, home, t)
 		offchip = t2 - t
 		t = t2
 	}
 	var act coherence.Action
 	if write {
-		act = m.dir.RemoteWrite(line)
-		m.l2[home].SetState(m.l2Index(line), cache.Modified)
+		act = hs.dir.RemoteWrite(line)
+		hs.l2.SetState(m.l2Index(line), cache.Modified)
 	} else {
-		act = m.dir.RemoteRead(line)
+		act = hs.dir.RemoteRead(line)
 	}
-	sharers := c.applyCoherence(line, home, act, write)
+	sharers := c.applyCoherence(hs, line, home, act, write)
 	t += sharers
 	ls.busy += t - txnStart
 	ls.count++
+	hs.l2.Unlock()
 	// Word-granularity reply.
 	t4, fh := m.mesh.Traverse(home, c.core, m.cfg.CtrlPacketBits+64, t)
 	c.energy.FlitHops += uint64(fh)
@@ -788,30 +952,34 @@ func (c *ctx) remoteAccess(line uint64, write bool) {
 // charged to Synchronization. When aggregate demand exceeds the MCP's
 // capacity the backlog term drains at one op per MCPServiceCycles,
 // reproducing the paper's synchronization wall for lock-heavy kernels.
+// The MCP aggregates are atomics, so no lock is taken: the horizon is
+// raised first, then the service demand is reserved, and the backlog is
+// priced against the pre-reservation demand — the same arithmetic the
+// serialized model performed.
 func (c *ctx) mcpTransact() {
 	m := c.m
 	// Not counted as an instruction: the lock's futex-word access is the
 	// instruction; this is the system half of the same operation.
 	start := c.now
 
-	m.mu.Lock()
+	if m.cfg.SerialMemory {
+		m.serialMu.Lock()
+		defer m.serialMu.Unlock()
+	}
 	t, fh := m.mesh.Traverse(c.core, 0, m.cfg.CtrlPacketBits, start)
 	c.energy.FlitHops += uint64(fh)
-	if t > m.mcpHorizon {
-		m.mcpHorizon = t
-	}
+	horizon := noc.MaxTo(&m.mcpHorizon, t)
+	demand := m.mcpBusy.Add(m.cfg.MCPServiceCycles) - m.cfg.MCPServiceCycles
 	var wait uint64
-	if m.mcpBusy > m.mcpHorizon {
+	if demand > horizon {
 		// Oversubscribed: the backlog must drain serially.
-		wait = m.mcpBusy - m.mcpHorizon
+		wait = demand - horizon
 	} else {
-		wait = noc.QueueDelay(m.mcpBusy, m.mcpHorizon, m.cfg.MCPServiceCycles)
+		wait = noc.QueueDelay(demand, horizon, m.cfg.MCPServiceCycles)
 	}
-	m.mcpBusy += m.cfg.MCPServiceCycles
 	t += wait + m.cfg.MCPServiceCycles
 	t2, fh2 := m.mesh.Traverse(0, c.core, m.cfg.CtrlPacketBits, t)
 	c.energy.FlitHops += uint64(fh2)
-	m.mu.Unlock()
 
 	c.brk[exec.CompSync] += t2 - start
 	c.now = t2
@@ -946,6 +1114,9 @@ func (m *Machine) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)
 	m.winMin.Store(0)
 	var wg sync.WaitGroup
 	wg.Add(threads)
+	// Host wall-clock of the parallel region, reported out of band for
+	// simulator-throughput measurements; it never feeds the model.
+	hostStart := time.Now() //crono:vet-ignore simdeterminism
 	for t := 0; t < threads; t++ {
 		ctxs[t] = &ctx{m: m, tid: t, core: m.placeThread(t, threads), threads: threads}
 		go func(c *ctx) {
@@ -956,19 +1127,26 @@ func (m *Machine) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)
 		}(ctxs[t])
 	}
 	wg.Wait()
+	hostNs := uint64(time.Since(hostStart)) //crono:vet-ignore simdeterminism
 	if err := goCtx.Err(); err != nil {
+		m.extraMu.Lock()
 		m.extra = energy.Counter{}
+		m.extraMu.Unlock()
 		return nil, err
 	}
 
 	rep := &exec.Report{
 		Platform:     m.Name(),
 		Threads:      threads,
+		HostNs:       hostNs,
 		Instructions: make([]uint64, threads),
 		ThreadTime:   make([]uint64, threads),
 	}
 	var events energy.Counter
+	m.extraMu.Lock()
 	events.Add(m.extra)
+	m.extra = energy.Counter{}
+	m.extraMu.Unlock()
 	var trace []exec.ActiveSample
 	for t, c := range ctxs {
 		if c.now > rep.Time {
@@ -989,7 +1167,6 @@ func (m *Machine) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)
 	rep.ActiveTrace = reconstructTrace(trace, activeTracePoints)
 	rep.Energy = m.cfg.Energy.Breakdown(events)
 	rep.NetworkFlitHops = events.FlitHops
-	m.extra = energy.Counter{}
 	return rep, nil
 }
 

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"crono/internal/exec"
+)
+
+// TestLocalityThresholdValidation is the regression test for the reuse
+// counter wrap bug: the per-line counters are uint8 and saturate at 255,
+// so a threshold of 256+ could never be crossed — every access to every
+// line would be served remotely forever, silently. Such configurations
+// are now rejected up front.
+func TestLocalityThresholdValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LocalityAware = true
+	cfg.LocalityThreshold = 256
+	if _, err := New(cfg); err == nil {
+		t.Fatal("locality threshold 256 accepted despite uint8 reuse counters")
+	}
+	cfg.LocalityThreshold = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("locality threshold 0 accepted")
+	}
+	cfg.LocalityThreshold = 255
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("locality threshold 255 rejected: %v", err)
+	}
+	// With the ablation off, the threshold is inert and stays unchecked
+	// (Default() ships 4; callers only flip LocalityAware).
+	off := smallConfig()
+	off.LocalityThreshold = 9999
+	if _, err := New(off); err != nil {
+		t.Fatalf("inert threshold rejected with LocalityAware off: %v", err)
+	}
+}
+
+// TestReuseCounterSaturatesAtMaxThreshold runs the extreme legal
+// threshold (255): the 255 cold touches are served remotely, the 256th
+// promotes the line into the private L1, and the rest hit. The counter
+// must end pinned at exactly 255 — saturated, not wrapped (an unclamped
+// uint8 increment would have wrapped it back toward zero and the line
+// would never promote).
+func TestReuseCounterSaturatesAtMaxThreshold(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LocalityAware = true
+	cfg.LocalityThreshold = 255
+	m := mustMachine(t, cfg)
+	r := m.Alloc("hotline", 16, 4)
+	const touches = 400
+	rep := m.Run(1, func(c exec.Ctx) {
+		for i := 0; i < touches; i++ {
+			c.Load(r.At(0))
+		}
+	})
+	line := r.Base >> m.lineBits
+	core := m.placeThread(0, 1)
+	if got := m.cores[core].reuse[line]; got != reuseSaturation {
+		t.Fatalf("reuse counter %d after %d touches, want saturation at %d", got, touches, reuseSaturation)
+	}
+	// 255 remote services + 1 local fill; the remaining 144 touches hit.
+	if got := rep.Cache.L1DMisses[exec.MissCold]; got != 1 {
+		t.Errorf("cold misses %d, want exactly 1 (the promotion fill)", got)
+	}
+	if got, want := rep.Cache.L2Accesses, uint64(256); got != want {
+		t.Errorf("L2 accesses %d, want %d (255 remote + 1 fill)", got, want)
+	}
+	if got, want := rep.Cache.L1DAccesses, uint64(touches); got != want {
+		t.Errorf("L1 accesses %d, want %d", got, want)
+	}
+}
