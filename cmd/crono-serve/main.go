@@ -36,8 +36,31 @@ import (
 	"crono/internal/service"
 )
 
+// serverTimeouts bundles the http.Server deadlines. Every edge of a
+// connection's lifecycle is bounded so hostile or broken clients (slow
+// request bodies, abandoned keep-alives) degrade into timeouts instead of
+// tying up connections indefinitely.
+type serverTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	write      time.Duration
+	idle       time.Duration
+}
+
+func defaultTimeouts() serverTimeouts {
+	return serverTimeouts{
+		readHeader: 10 * time.Second,
+		read:       2 * time.Minute,
+		// The write deadline must exceed the service's MaxTimeout (5m)
+		// or long kernel runs would be cut off mid-response.
+		write: 6 * time.Minute,
+		idle:  2 * time.Minute,
+	}
+}
+
 func main() {
 	cfg := service.DefaultConfig()
+	ht := defaultTimeouts()
 	var drain time.Duration
 	var pprofAddr string
 	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
@@ -48,6 +71,9 @@ func main() {
 	flag.IntVar(&cfg.MaxVertices, "max-vertices", cfg.MaxVertices, "largest accepted graph")
 	flag.IntVar(&cfg.SimCores, "sim-cores", cfg.SimCores, "default simulated core count (perfect square)")
 	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
+	flag.DurationVar(&ht.read, "read-timeout", ht.read, "full-request read deadline (headers+body); slow readers time out instead of holding connections")
+	flag.DurationVar(&ht.write, "write-timeout", ht.write, "response write deadline; keep above the run timeout cap or long runs are cut off")
+	flag.DurationVar(&ht.idle, "idle-timeout", ht.idle, "keep-alive idle connection deadline")
 	flag.DurationVar(&drain, "drain-timeout", 15*time.Second, "shutdown drain bound")
 	flag.StringVar(&pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -64,9 +90,13 @@ func main() {
 		}()
 	}
 
+	if ht.write > 0 && ht.write < cfg.MaxTimeout {
+		log.Printf("warning: -write-timeout %s is below the %s run-timeout cap; long runs will be cut off", ht.write, cfg.MaxTimeout)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, cfg, drain, func(addr string) {
+	if err := run(ctx, cfg, ht, drain, func(addr string) {
 		log.Printf("crono-serve listening on %s", addr)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "crono-serve:", err)
@@ -78,7 +108,7 @@ func main() {
 // listener closes, in-flight requests drain (bounded by drainTimeout), and
 // the worker pool finishes queued kernels. ready is called with the bound
 // address once the listener is up (tests listen on :0).
-func run(ctx context.Context, cfg service.Config, drainTimeout time.Duration, ready func(addr string)) error {
+func run(ctx context.Context, cfg service.Config, ht serverTimeouts, drainTimeout time.Duration, ready func(addr string)) error {
 	svc := service.New(cfg)
 	defer svc.Close()
 
@@ -88,7 +118,10 @@ func run(ctx context.Context, cfg service.Config, drainTimeout time.Duration, re
 	}
 	srv := &http.Server{
 		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: ht.readHeader,
+		ReadTimeout:       ht.read,
+		WriteTimeout:      ht.write,
+		IdleTimeout:       ht.idle,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

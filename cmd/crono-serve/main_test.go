@@ -23,7 +23,7 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	addrc := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, cfg, 5*time.Second, func(addr string) { addrc <- addr })
+		done <- run(ctx, cfg, defaultTimeouts(), 5*time.Second, func(addr string) { addrc <- addr })
 	}()
 
 	var base string
@@ -82,5 +82,85 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	// The listener must actually be gone.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// slowBody trickles a request body slower than the server's read deadline.
+type slowBody struct {
+	chunks int
+	delay  time.Duration
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.chunks == 0 {
+		return 0, io.EOF
+	}
+	s.chunks--
+	time.Sleep(s.delay)
+	p[0] = 'x'
+	return 1, nil
+}
+
+// TestReadTimeoutDefeatsSlowReader boots the server with a tight read
+// deadline and verifies a trickled request body degrades into a closed
+// connection (or a 4xx once the partial body fails to parse) while a
+// normal request on a fresh connection still succeeds.
+func TestReadTimeoutDefeatsSlowReader(t *testing.T) {
+	cfg := service.DefaultConfig()
+	cfg.Addr = "127.0.0.1:0"
+	ht := defaultTimeouts()
+	ht.read = 200 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, ht, 5*time.Second, func(addr string) { addrc <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// ~2s of trickled body against a 200ms read deadline: the server must
+	// not wait for the body to finish.
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/graphs", "application/json",
+		&slowBody{chunks: 40, delay: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("slow-reader request held the connection %s, want timeout near 200ms", elapsed)
+	}
+	if err == nil {
+		if resp.StatusCode < 400 {
+			t.Fatalf("slow-reader request got status %d, want error", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Post(base+"/v1/graphs", "application/json",
+		bytes.NewReader([]byte(`{"kind":"sparse","n":256,"seed":1}`)))
+	if err != nil {
+		t.Fatalf("normal request after slow reader: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("normal request status %d: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
 	}
 }

@@ -1,0 +1,175 @@
+// Command crono-stress runs a declarative load & chaos scenario against a
+// crono serving instance and writes a STRESS_report.json artifact.
+//
+// By default it boots the service in-process on a loopback listener (with
+// the scenario's server overrides applied), runs the scenario's phases,
+// drains, and evaluates the scenario's assertions against scraped
+// /metrics deltas plus harness-side observations. Point -addr at a
+// running crono-serve to stress a deployed instance instead.
+//
+// Usage:
+//
+//	crono-stress -scenario examples/stress/steady-state.json
+//	crono-stress -scenario s.json -assert             # exit 1 on failure
+//	crono-stress -scenario s.json -addr http://host:8080
+//	crono-stress -scenario s.json -seed 7 -budget 200 # CI smoke scale
+//	crono-stress -scenario s.json -plan               # print schedule, no run
+//
+// The request schedule and fault sequence are a pure function of
+// (scenario, seed): the report's scheduleDigest identifies them, and
+// re-running with the same inputs replays the identical plan.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"crono/internal/stress"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "crono-stress: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crono-stress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenarioPath = fs.String("scenario", "", "path to the scenario JSON file (required)")
+		addr         = fs.String("addr", "", "base URL of a running crono-serve; empty boots the service in-process")
+		seed         = fs.Uint64("seed", 0, "override the scenario's seed (0 keeps the scenario value)")
+		budget       = fs.Int("budget", 0, "cap total requests, rescaling phases proportionally (0 = as scripted)")
+		out          = fs.String("out", "STRESS_report.json", "report output path (empty disables)")
+		assert       = fs.Bool("assert", false, "exit nonzero when any scenario assertion fails")
+		planOnly     = fs.Bool("plan", false, "print the planned schedule as JSON and exit without running")
+		settle       = fs.Duration("settle", 10*time.Second, "max wait for the server to quiesce after drain")
+		quiet        = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenarioPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-scenario is required")
+	}
+
+	sc, err := stress.Load(*scenarioPath)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *budget > 0 {
+		sc.ScaleBudget(*budget)
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	if *planOnly {
+		sched, err := stress.Plan(sc)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sched)
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	base := *addr
+	if base == "" {
+		var shutdown func()
+		base, shutdown, err = stress.StartInProcess(sc)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		logf("in-process server at %s", base)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := stress.Run(ctx, sc, stress.Options{
+		BaseURL:       base,
+		Logf:          logf,
+		SettleTimeout: *settle,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		logf("report written to %s", *out)
+	}
+	printSummary(stdout, rep)
+
+	if *assert && !rep.Passed() {
+		return fmt.Errorf("%d assertion(s) failed", rep.Failed)
+	}
+	return nil
+}
+
+// printSummary renders the human-facing result table.
+func printSummary(w io.Writer, rep *stress.Report) {
+	fmt.Fprintf(w, "scenario %s  seed %d  digest %s\n", rep.Scenario, rep.Seed, rep.ScheduleDigest)
+	fmt.Fprintf(w, "executed %d/%d requests in %.2fs against %s\n",
+		rep.Totals.Executed, rep.Totals.Planned, rep.DurationSeconds, rep.Target)
+	for _, p := range rep.Phases {
+		fmt.Fprintf(w, "  phase %-12s %4d ops  status %v", p.Name, p.Executed, sortedCounts(p.ByStatus))
+		if p.Latency.Count > 0 {
+			fmt.Fprintf(w, "  p50 %.1fms p99 %.1fms", p.Latency.P50Ms, p.Latency.P99Ms)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "goroutines %g -> %g after drain\n", rep.GoroutinesBaseline, rep.GoroutinesAfterDrain)
+	for _, a := range rep.Assertions {
+		mark := "PASS"
+		if !a.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s: got %s, want %s\n", mark, a.Name, a.Got, a.Want)
+	}
+	if rep.Passed() {
+		fmt.Fprintln(w, "RESULT: PASS")
+	} else {
+		fmt.Fprintf(w, "RESULT: FAIL (%d assertions)\n", rep.Failed)
+	}
+}
+
+// sortedCounts renders a status map deterministically.
+func sortedCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return out + "}"
+}

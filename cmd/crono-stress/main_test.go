@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crono/internal/stress"
+)
+
+const examplesDir = "../../examples/stress"
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestCLISteadyStateSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "STRESS_report.json")
+	stdout, stderr, err := runCLI(t,
+		"-scenario", filepath.Join(examplesDir, "steady-state.json"),
+		"-budget", "60", "-out", out, "-assert", "-quiet")
+	if err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "RESULT: PASS") {
+		t.Fatalf("summary missing PASS:\n%s", stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep stress.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Scenario != "steady-state" || rep.Failed != 0 {
+		t.Fatalf("report = scenario %q, %d failed", rep.Scenario, rep.Failed)
+	}
+	if rep.Totals.Planned > 60 {
+		t.Fatalf("budget ignored: planned %d > 60", rep.Totals.Planned)
+	}
+}
+
+func TestCLICancelStormSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "STRESS_report.json")
+	stdout, stderr, err := runCLI(t,
+		"-scenario", filepath.Join(examplesDir, "cancel-storm.json"),
+		"-budget", "60", "-out", out, "-assert", "-quiet")
+	if err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	var rep stress.Report
+	b, _ := os.ReadFile(out)
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	// The acceptance bar, re-checked from the artifact rather than the
+	// exit code: drained clean and nothing outside the contract.
+	if rep.GoroutinesAfterDrain > rep.GoroutinesBaseline {
+		t.Errorf("goroutines grew %g -> %g", rep.GoroutinesBaseline, rep.GoroutinesAfterDrain)
+	}
+	for status := range rep.Totals.ByStatus {
+		switch status {
+		case "200", "201", "400", "413", "429", "503", "504", "err":
+		default:
+			t.Errorf("status %s outside the chaos contract: %v", status, rep.Totals.ByStatus)
+		}
+	}
+}
+
+func TestCLIPlanMode(t *testing.T) {
+	stdout, _, err := runCLI(t,
+		"-scenario", filepath.Join(examplesDir, "cold-cache-burst.json"), "-plan")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	var sched stress.Schedule
+	if err := json.Unmarshal([]byte(stdout), &sched); err != nil {
+		t.Fatalf("plan output not a schedule: %v", err)
+	}
+	if len(sched.Phases) != 2 || sched.Digest == "" {
+		t.Fatalf("schedule = %d phases, digest %q", len(sched.Phases), sched.Digest)
+	}
+}
+
+func TestCLISeedOverride(t *testing.T) {
+	digest := func(seed string) string {
+		stdout, _, err := runCLI(t,
+			"-scenario", filepath.Join(examplesDir, "steady-state.json"), "-plan", "-seed", seed)
+		if err != nil {
+			t.Fatalf("plan -seed %s: %v", seed, err)
+		}
+		var sched stress.Schedule
+		if err := json.Unmarshal([]byte(stdout), &sched); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return sched.Digest
+	}
+	if digest("5") == digest("6") {
+		t.Fatal("seed override did not change the schedule")
+	}
+	if digest("5") != digest("5") {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, _, err := runCLI(t); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+	if _, _, err := runCLI(t, "-scenario", "no-such-file.json"); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"name": "x", "phasez": []}`), 0o644) //nolint:errcheck
+	if _, _, err := runCLI(t, "-scenario", bad); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+// TestExampleScenariosValidate keeps every checked-in scenario loadable:
+// a scenario that no longer parses is a broken example.
+func TestExampleScenariosValidate(t *testing.T) {
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatalf("read %s: %v", examplesDir, err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		n++
+		if _, err := stress.Load(filepath.Join(examplesDir, e.Name())); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if n < 3 {
+		t.Errorf("expected at least 3 example scenarios, found %d", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -366,7 +367,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrSaturated):
 			s.m.shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, "worker pool saturated, retry later")
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "run exceeded %s deadline", timeout)
@@ -434,6 +435,8 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 	)
 	if err := s.pool.Submit(ctx, func() {
 		defer close(done)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		start := time.Now()
 		// The request context reaches the kernel's Checkpoint polls: a
 		// canceled or deadlined request aborts the run within one kernel

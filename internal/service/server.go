@@ -16,7 +16,9 @@ package service
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -131,6 +133,11 @@ type Server struct {
 	cache *Cache
 	m     *serverMetrics
 	mux   *http.ServeMux
+	// inflight counts kernel executions currently running on pool
+	// workers (queued tasks are not in flight; dropped tasks never
+	// increment). The stress harness asserts it returns to zero after
+	// drain.
+	inflight atomic.Int64
 }
 
 // New builds a Server from cfg (zero fields are defaulted).
@@ -191,6 +198,22 @@ func (s *Server) newMetrics() *serverMetrics {
 	reg.GaugeFunc("crono_cache_entries",
 		"Completed results resident in the LRU cache.",
 		func() float64 { return float64(s.cache.Len()) })
+	// Runtime gauges back the stress harness's leak assertions: goroutine
+	// and heap growth after a drained chaos run indicate a leak in the
+	// pool/cache/cancellation paths.
+	reg.GaugeFunc("crono_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("crono_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("crono_inflight_runs",
+		"Kernel executions currently running on pool workers.",
+		func() float64 { return float64(s.inflight.Load()) })
 	return m
 }
 
@@ -213,8 +236,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // fail with ErrPoolClosed.
 func (s *Server) Close() { s.pool.Close() }
 
-// Metrics exposes the registry (cmd/crono-serve adds process gauges).
+// Metrics exposes the registry (the stress harness scrapes it via the
+// /metrics endpoint and asserts over the runtime gauges).
 func (s *Server) Metrics() *Registry { return s.m.reg }
+
+// retryAfterSeconds estimates how long a shed client should back off:
+// roughly the current queue depth in units of worker parallelism, clamped
+// to [1, 30] seconds so the hint stays actionable without parking clients.
+func (s *Server) retryAfterSeconds() int {
+	sec := int(s.pool.Depth()) / s.cfg.Workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
 
 // statusRecorder captures the response code for the request counter.
 type statusRecorder struct {

@@ -505,3 +505,47 @@ func TestRunStrategyPartitionsCacheKey(t *testing.T) {
 		t.Fatalf("invalid strategy: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestRuntimeGauges verifies the process-health gauges the stress harness
+// asserts over: goroutines and heap are live runtime readings, and the
+// in-flight run gauge returns to zero once work drains.
+func TestRuntimeGauges(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "sparse", 512, 1)
+	resp := postJSON(t, ts.URL+"/v1/run", runRequest{Graph: gr.ID, Kernel: "BFS", Threads: 2})
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	m := fetchMetrics(t, ts.URL)
+	if v := metricValue(t, m, "crono_goroutines"); v < 1 {
+		t.Errorf("crono_goroutines = %v, want >= 1", v)
+	}
+	if v := metricValue(t, m, "crono_heap_alloc_bytes"); v <= 0 {
+		t.Errorf("crono_heap_alloc_bytes = %v, want > 0", v)
+	}
+	if v := metricValue(t, m, "crono_inflight_runs"); v != 0 {
+		t.Errorf("crono_inflight_runs = %v after drain, want 0", v)
+	}
+	if got := s.inflight.Load(); got != 0 {
+		t.Errorf("inflight counter = %d after run completed, want 0", got)
+	}
+}
+
+// TestRetryAfterAdaptive pins the backoff hint formula: depth per worker,
+// clamped to [1, 30] seconds.
+func TestRetryAfterAdaptive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	s := New(cfg)
+	defer s.Close()
+	for _, tc := range []struct {
+		depth int64
+		want  int
+	}{{0, 1}, {3, 1}, {8, 2}, {200, 30}} {
+		s.pool.depth.Store(tc.depth)
+		if got := s.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(depth=%d) = %d, want %d", tc.depth, got, tc.want)
+		}
+	}
+	s.pool.depth.Store(0)
+}

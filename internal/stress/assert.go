@@ -1,0 +1,254 @@
+package stress
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Assertions declares a scenario's pass/fail conditions, evaluated from
+// harness observations plus /metrics scraped before the run and after
+// drain. Optional numeric ceilings are pointers so 0 is expressible
+// ("zero sheds allowed" vs "unset").
+type Assertions struct {
+	// MaxP50Ms / MaxP99Ms bound harness-observed latency of successful
+	// unfaulted requests across the whole run.
+	MaxP50Ms *float64 `json:"maxP50Ms,omitempty"`
+	MaxP99Ms *float64 `json:"maxP99Ms,omitempty"`
+	// MaxShedRate bounds the fraction of requests answered 429.
+	MaxShedRate *float64 `json:"maxShedRate,omitempty"`
+	// MinCacheHitRate floors hits/(hits+misses) over the run's deltas.
+	MinCacheHitRate *float64 `json:"minCacheHitRate,omitempty"`
+	// MaxGoroutineGrowth bounds crono_goroutines after drain minus the
+	// pre-run baseline; 0 demands the server return to its baseline.
+	MaxGoroutineGrowth *float64 `json:"maxGoroutineGrowth,omitempty"`
+	// RequireRetryAfter demands every observed 429 carry Retry-After.
+	RequireRetryAfter bool `json:"requireRetryAfter,omitempty"`
+	// ErrorBudget bounds status classes; see ErrorBudget.
+	ErrorBudget []ErrorBudget `json:"errorBudget,omitempty"`
+	// Metrics are general assertions over scraped series.
+	Metrics []MetricAssertion `json:"metrics,omitempty"`
+}
+
+// ErrorBudget caps the fraction of requests falling into a status class:
+// "2xx".."5xx", an exact code ("503"), or "error" for client-observed
+// failures with no HTTP response. Exclude carves deliberate codes out of
+// a class (cancel-storm allows 503/504 but no other 5xx).
+type ErrorBudget struct {
+	Class       string  `json:"class"`
+	Exclude     []int   `json:"exclude,omitempty"`
+	MaxFraction float64 `json:"maxFraction"`
+}
+
+// MetricAssertion compares one scraped value (or its delta over the run)
+// against a bound. Matching sums every series of Name whose labels are a
+// superset of Labels; absent series evaluate to 0.
+type MetricAssertion struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Delta  bool              `json:"delta,omitempty"`
+	Op     string            `json:"op"`
+	Value  float64           `json:"value"`
+}
+
+// AssertionResult is one evaluated assertion in the report.
+type AssertionResult struct {
+	Name string `json:"name"`
+	Pass bool   `json:"pass"`
+	Got  string `json:"got"`
+	Want string `json:"want"`
+}
+
+func (a *Assertions) validate() error {
+	for i, eb := range a.ErrorBudget {
+		if err := validClass(eb.Class); err != nil {
+			return fmt.Errorf("errorBudget[%d]: %w", i, err)
+		}
+		if eb.MaxFraction < 0 || eb.MaxFraction > 1 {
+			return fmt.Errorf("errorBudget[%d]: maxFraction %v outside [0, 1]", i, eb.MaxFraction)
+		}
+	}
+	for i, ma := range a.Metrics {
+		if ma.Name == "" {
+			return fmt.Errorf("metrics[%d]: name is required", i)
+		}
+		switch ma.Op {
+		case "<=", ">=", "==", "<", ">":
+		default:
+			return fmt.Errorf("metrics[%d]: unknown op %q", i, ma.Op)
+		}
+	}
+	return nil
+}
+
+func validClass(class string) error {
+	if class == "error" {
+		return nil
+	}
+	if len(class) == 3 && strings.HasSuffix(class, "xx") && class[0] >= '1' && class[0] <= '5' {
+		return nil
+	}
+	if code, err := strconv.Atoi(class); err == nil && code >= 100 && code <= 599 {
+		return nil
+	}
+	return fmt.Errorf("unknown status class %q (want e.g. \"5xx\", \"503\" or \"error\")", class)
+}
+
+// classMatch reports whether an observation's status falls in class.
+func classMatch(status int, class string, exclude []int) bool {
+	for _, ex := range exclude {
+		if status == ex {
+			return false
+		}
+	}
+	switch {
+	case class == "error":
+		return status == 0
+	case strings.HasSuffix(class, "xx"):
+		lo := int(class[0]-'0') * 100
+		return status >= lo && status < lo+100
+	default:
+		code, _ := strconv.Atoi(class)
+		return status == code
+	}
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted ms samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// evaluate runs every declared assertion plus the implicit ones (no
+// harness-detected post-condition violations).
+func evaluate(a *Assertions, obs []Observation, before, after *Metrics,
+	goroutineBaseline, goroutineFinal float64) []AssertionResult {
+
+	var results []AssertionResult
+	add := func(name string, pass bool, got, want string) {
+		results = append(results, AssertionResult{Name: name, Pass: pass, Got: got, Want: want})
+	}
+
+	total := len(obs)
+	var okLat []float64
+	var shed, violations, missingRetryAfter int
+	for _, o := range obs {
+		if o.Status == 200 && o.Fault == "" {
+			okLat = append(okLat, o.LatencyMs)
+		}
+		if o.Status == 429 {
+			shed++
+			if !o.RetryAfter {
+				missingRetryAfter++
+			}
+		}
+		if o.Violation != "" {
+			violations++
+		}
+	}
+	sort.Float64s(okLat)
+
+	// Implicit: post-conditions observed by the harness always hold.
+	add("no post-condition violations", violations == 0,
+		fmt.Sprintf("%d violations", violations), "0")
+
+	if a.MaxP50Ms != nil {
+		p50 := percentile(okLat, 0.50)
+		add("p50 latency", p50 <= *a.MaxP50Ms,
+			fmt.Sprintf("%.1fms over %d ok requests", p50, len(okLat)),
+			fmt.Sprintf("<= %.1fms", *a.MaxP50Ms))
+	}
+	if a.MaxP99Ms != nil {
+		p99 := percentile(okLat, 0.99)
+		add("p99 latency", p99 <= *a.MaxP99Ms,
+			fmt.Sprintf("%.1fms over %d ok requests", p99, len(okLat)),
+			fmt.Sprintf("<= %.1fms", *a.MaxP99Ms))
+	}
+	if a.MaxShedRate != nil {
+		rate := 0.0
+		if total > 0 {
+			rate = float64(shed) / float64(total)
+		}
+		add("shed rate", rate <= *a.MaxShedRate,
+			fmt.Sprintf("%.3f (%d/%d)", rate, shed, total),
+			fmt.Sprintf("<= %.3f", *a.MaxShedRate))
+	}
+	if a.RequireRetryAfter {
+		add("429s carry Retry-After", missingRetryAfter == 0,
+			fmt.Sprintf("%d of %d 429s missing the header", missingRetryAfter, shed), "0 missing")
+	}
+	for _, eb := range a.ErrorBudget {
+		n := 0
+		for _, o := range obs {
+			if classMatch(o.Status, eb.Class, eb.Exclude) {
+				n++
+			}
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(n) / float64(total)
+		}
+		name := fmt.Sprintf("status budget %s", eb.Class)
+		if len(eb.Exclude) > 0 {
+			name = fmt.Sprintf("status budget %s excluding %v", eb.Class, eb.Exclude)
+		}
+		add(name, frac <= eb.MaxFraction,
+			fmt.Sprintf("%.3f (%d/%d)", frac, n, total),
+			fmt.Sprintf("<= %.3f", eb.MaxFraction))
+	}
+	if a.MinCacheHitRate != nil {
+		hits := after.Sum("crono_cache_hits_total", nil) - before.Sum("crono_cache_hits_total", nil)
+		misses := after.Sum("crono_cache_misses_total", nil) - before.Sum("crono_cache_misses_total", nil)
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = hits / (hits + misses)
+		}
+		add("cache hit rate", rate >= *a.MinCacheHitRate,
+			fmt.Sprintf("%.3f (%g hits / %g misses)", rate, hits, misses),
+			fmt.Sprintf(">= %.3f", *a.MinCacheHitRate))
+	}
+	if a.MaxGoroutineGrowth != nil {
+		growth := goroutineFinal - goroutineBaseline
+		add("goroutine growth after drain", growth <= *a.MaxGoroutineGrowth,
+			fmt.Sprintf("%+g (baseline %g, after drain %g)", growth, goroutineBaseline, goroutineFinal),
+			fmt.Sprintf("<= %g", *a.MaxGoroutineGrowth))
+	}
+	for _, ma := range a.Metrics {
+		v := after.Sum(ma.Name, ma.Labels)
+		if ma.Delta {
+			v -= before.Sum(ma.Name, ma.Labels)
+		}
+		pass := false
+		switch ma.Op {
+		case "<=":
+			pass = v <= ma.Value
+		case ">=":
+			pass = v >= ma.Value
+		case "==":
+			pass = v == ma.Value
+		case "<":
+			pass = v < ma.Value
+		case ">":
+			pass = v > ma.Value
+		}
+		name := ma.Name
+		if len(ma.Labels) > 0 {
+			name = seriesKey(Sample{Name: ma.Name, Labels: ma.Labels})
+		}
+		if ma.Delta {
+			name = "Δ" + name
+		}
+		add(name, pass, fmt.Sprintf("%g", v), fmt.Sprintf("%s %g", ma.Op, ma.Value))
+	}
+	return results
+}

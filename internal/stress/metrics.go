@@ -1,0 +1,283 @@
+package stress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a parser for the Prometheus text exposition format 0.0.4 —
+// the inverse of service.Registry.WriteTo. The assertion engine evaluates
+// scraped /metrics through it, and a property test pins parse∘write
+// identity over randomized registries so the two stay in sync.
+
+// Sample is one scraped series value. Name carries histogram suffixes
+// (_bucket/_sum/_count) verbatim; bucket le labels stay in Labels.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is the HELP/TYPE metadata of one metric family.
+type Family struct {
+	Name, Help, Type string
+}
+
+// Metrics is one parsed scrape.
+type Metrics struct {
+	Families map[string]Family
+	Samples  []Sample
+}
+
+// ParseMetrics parses a text exposition scrape.
+func ParseMetrics(r io.Reader) (*Metrics, error) {
+	m := &Metrics{Families: make(map[string]Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.parseComment(line); err != nil {
+				return nil, fmt.Errorf("metrics line %d: %w", lineno, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineno, err)
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Metrics) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		f := m.Families[fields[2]]
+		f.Name = fields[2]
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+		m.Families[fields[2]] = f
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		f := m.Families[fields[2]]
+		f.Name = fields[2]
+		f.Type = fields[3]
+		m.Families[fields[2]] = f
+	}
+	return nil
+}
+
+// parseSample parses `name value` or `name{k="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i]) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q: no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, n, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Labels = labels
+		rest = rest[n:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; the registry never writes one but
+	// tolerate it for remote scrapes of other exporters.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// parseLabels scans `{k="v",...}` returning the labels and the number of
+// bytes consumed. Values may contain escaped `\\`, `\"` and `\n`.
+func parseLabels(s string) (map[string]string, int, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, 0, fmt.Errorf("label missing '='")
+		}
+		key := s[start:i]
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, 0, fmt.Errorf("label %q missing opening quote", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, 0, fmt.Errorf("label %q unterminated value", key)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, 0, fmt.Errorf("label %q dangling escape", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					// Unknown escape: keep verbatim per the format spec.
+					b.WriteByte('\\')
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// Value returns the sample with exactly the given name and label set.
+func (m *Metrics) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range m.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		if labelsMatch(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample named name whose labels are a superset of subset;
+// absent series contribute 0, so Sum on a never-incremented counter is 0.
+func (m *Metrics) Sum(name string, subset map[string]string) float64 {
+	var sum float64
+	for _, s := range m.Samples {
+		if s.Name == name && labelsMatch(s.Labels, subset) {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// Gauge returns the single unlabeled sample of name.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	return m.Value(name, nil)
+}
+
+// labelsMatch reports whether have contains every pair in want.
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterDeltas returns the per-series deltas of every counter family
+// between two scrapes, keyed "name{k=v,...}" in sorted label order. Only
+// nonzero deltas are reported; counters absent from the earlier scrape
+// count from zero.
+func CounterDeltas(before, after *Metrics) map[string]float64 {
+	deltas := make(map[string]float64)
+	for _, s := range after.Samples {
+		fam := after.Families[familyOf(s.Name)]
+		if fam.Type != "counter" {
+			continue
+		}
+		prev, _ := before.Value(s.Name, s.Labels)
+		if d := s.Value - prev; d != 0 {
+			deltas[seriesKey(s)] = d
+		}
+	}
+	return deltas
+}
+
+// familyOf strips histogram sample suffixes to recover the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func seriesKey(s Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

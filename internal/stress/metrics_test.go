@@ -1,0 +1,248 @@
+package stress
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"crono/internal/service"
+)
+
+func TestParseMetricsHandcrafted(t *testing.T) {
+	const scrape = `# HELP crono_http_requests_total HTTP requests by route and status code.
+# TYPE crono_http_requests_total counter
+crono_http_requests_total{path="/v1/run",code="200"} 12
+crono_http_requests_total{path="/v1/run",code="429"} 3
+# HELP crono_queue_depth Kernel tasks queued or running in the worker pool.
+# TYPE crono_queue_depth gauge
+crono_queue_depth 2
+# HELP lat_seconds latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{kernel="BFS",le="0.1"} 1
+lat_seconds_bucket{kernel="BFS",le="+Inf"} 5
+lat_seconds_sum{kernel="BFS"} 56.05
+lat_seconds_count{kernel="BFS"} 5
+# HELP esc_total escapes.
+# TYPE esc_total counter
+esc_total{v="a\"b\\c\nd"} 1
+`
+	m, err := ParseMetrics(strings.NewReader(scrape))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if f := m.Families["crono_http_requests_total"]; f.Type != "counter" || !strings.Contains(f.Help, "HTTP requests") {
+		t.Errorf("family meta = %+v", f)
+	}
+	if v, ok := m.Value("crono_http_requests_total", map[string]string{"path": "/v1/run", "code": "429"}); !ok || v != 3 {
+		t.Errorf("429 series = %v, %v", v, ok)
+	}
+	if v := m.Sum("crono_http_requests_total", map[string]string{"path": "/v1/run"}); v != 15 {
+		t.Errorf("Sum over /v1/run = %v, want 15", v)
+	}
+	if v := m.Sum("crono_http_requests_total", nil); v != 15 {
+		t.Errorf("Sum all = %v, want 15", v)
+	}
+	if v := m.Sum("never_seen_total", nil); v != 0 {
+		t.Errorf("absent series sums to %v, want 0", v)
+	}
+	if v, ok := m.Gauge("crono_queue_depth"); !ok || v != 2 {
+		t.Errorf("gauge = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("lat_seconds_bucket", map[string]string{"kernel": "BFS", "le": "+Inf"}); !ok || v != 5 {
+		t.Errorf("+Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("esc_total", map[string]string{"v": "a\"b\\c\nd"}); !ok || v != 1 {
+		t.Errorf("escaped label not recovered: %v, %v", v, ok)
+	}
+}
+
+func TestParseMetricsErrors(t *testing.T) {
+	for _, bad := range []string{
+		`x{a="b} 1`,         // unterminated label value
+		`x{a=b"} 1`,         // missing opening quote
+		`x{a="b"} notnum`,   // bad value
+		`{a="b"} 1`,         // no metric name
+		`x{a="b",} `,        // no value
+		"# TYPE only_two\n", // malformed TYPE
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	parse := func(s string) *Metrics {
+		m, err := ParseMetrics(strings.NewReader(s))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return m
+	}
+	before := parse(`# TYPE a_total counter
+a_total{k="x"} 5
+# TYPE g gauge
+g 100
+`)
+	after := parse(`# TYPE a_total counter
+a_total{k="x"} 8
+a_total{k="y"} 2
+# TYPE g gauge
+g 50
+`)
+	d := CounterDeltas(before, after)
+	if d[`a_total{k=x}`] != 3 {
+		t.Errorf("delta x = %v, want 3", d[`a_total{k=x}`])
+	}
+	if d[`a_total{k=y}`] != 2 {
+		t.Errorf("delta y (absent before) = %v, want 2", d[`a_total{k=y}`])
+	}
+	if _, ok := d["g"]; ok {
+		t.Error("gauge leaked into counter deltas")
+	}
+}
+
+// ---- parser ∘ writer identity property test ----
+
+// nastyLabelValues stresses the exposition escaping rules.
+var nastyLabelValues = []string{
+	"plain", "with space", `back\slash`, `quo"te`, "new\nline",
+	`\`, `"`, "", "mixed\\\"\nall", "trailing\\",
+}
+
+// randomRegistry builds a registry with random families, series, labels
+// and observations, mirroring everything service.Registry.Write can emit:
+// counters, gauge funcs, histograms with +Inf overflow, labeled series.
+func randomRegistry(st *stream) (*service.Registry, []expectedSample) {
+	reg := service.NewRegistry()
+	var want []expectedSample
+	nfam := 1 + st.intn(5)
+	for f := 0; f < nfam; f++ {
+		name := fmt.Sprintf("fam_%c_%d", "abc"[st.intn(3)], f)
+		nseries := 1 + st.intn(3)
+		switch st.intn(3) {
+		case 0: // counter
+			for s := 0; s < nseries; s++ {
+				labels := randomLabels(st, s)
+				c := reg.Counter(name+"_total", "random counter.", labels...)
+				v := uint64(st.intn(1 << 20))
+				c.Add(v)
+				want = append(want, expectedSample{name + "_total", labelMap(labels), float64(c.Value())})
+			}
+		case 1: // gauge func
+			for s := 0; s < nseries; s++ {
+				labels := randomLabels(st, s)
+				v := st.rangeF(-1e6, 1e6)
+				if st.intn(8) == 0 {
+					v = math.Inf(1)
+				}
+				reg.GaugeFunc(name, "random gauge.", func() float64 { return v }, labels...)
+				want = append(want, expectedSample{name, labelMap(labels), v})
+			}
+		case 2: // histogram
+			bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+			for s := 0; s < nseries; s++ {
+				labels := randomLabels(st, s)
+				h := reg.Histogram(name+"_seconds", "random histogram.", bounds, labels...)
+				nobs := st.intn(50)
+				var sum float64
+				counts := make([]int, len(bounds)+1)
+				for o := 0; o < nobs; o++ {
+					v := st.rangeF(0, 20)
+					h.Observe(v)
+					sum += v
+					i := 0
+					for i < len(bounds) && v > bounds[i] {
+						i++
+					}
+					counts[i]++
+				}
+				lm := labelMap(labels)
+				cum := 0
+				for i, ub := range bounds {
+					cum += counts[i]
+					bl := withLabel(lm, "le", fmt.Sprintf("%g", ub))
+					want = append(want, expectedSample{name + "_seconds_bucket", bl, float64(cum)})
+				}
+				cum += counts[len(bounds)]
+				want = append(want, expectedSample{name + "_seconds_bucket", withLabel(lm, "le", "+Inf"), float64(cum)})
+				want = append(want, expectedSample{name + "_seconds_sum", lm, sum})
+				want = append(want, expectedSample{name + "_seconds_count", lm, float64(nobs)})
+			}
+		}
+	}
+	return reg, want
+}
+
+type expectedSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func randomLabels(st *stream, series int) []service.Label {
+	n := st.intn(3)
+	labels := make([]service.Label, 0, n+1)
+	for i := 0; i < n; i++ {
+		labels = append(labels, service.Label{
+			Key:   fmt.Sprintf("k%d", i),
+			Value: nastyLabelValues[st.intn(len(nastyLabelValues))],
+		})
+	}
+	// A distinct trailing label keeps series in one family unique.
+	labels = append(labels, service.Label{Key: "series", Value: fmt.Sprintf("s%d", series)})
+	return labels
+}
+
+func labelMap(labels []service.Label) map[string]string {
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func withLabel(m map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for key, val := range m {
+		out[key] = val
+	}
+	out[k] = v
+	return out
+}
+
+// TestMetricsRoundTripProperty pins parser ∘ writer identity: whatever
+// Registry.WriteTo emits, ParseMetrics recovers value-for-value. The
+// stress harness's assertions are only as sound as this inverse.
+func TestMetricsRoundTripProperty(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		st := newStream(seed, 0xfeed)
+		reg, want := randomRegistry(st)
+		var b strings.Builder
+		if _, err := reg.WriteTo(&b); err != nil {
+			t.Fatalf("seed %d: WriteTo: %v", seed, err)
+		}
+		m, err := ParseMetrics(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("seed %d: ParseMetrics: %v\nscrape:\n%s", seed, err, b.String())
+		}
+		for _, w := range want {
+			got, ok := m.Value(w.name, w.labels)
+			if !ok {
+				t.Fatalf("seed %d: sample %s%v missing from parse\nscrape:\n%s", seed, w.name, w.labels, b.String())
+			}
+			// The writer renders float64s with %g (shortest exact), so
+			// the round trip must be bit-exact, not approximate.
+			if got != w.value && !(math.IsNaN(got) && math.IsNaN(w.value)) {
+				t.Fatalf("seed %d: sample %s%v = %v, want %v", seed, w.name, w.labels, got, w.value)
+			}
+		}
+		// Family metadata survives too.
+		for name, fam := range m.Families {
+			if fam.Type == "" {
+				t.Fatalf("seed %d: family %s parsed without TYPE", seed, name)
+			}
+		}
+	}
+}

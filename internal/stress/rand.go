@@ -1,0 +1,56 @@
+package stress
+
+import "math"
+
+// stream is the harness's own splitmix64 PRNG. The determinism contract
+// ("same seed + same scenario ⇒ identical schedule") must hold across Go
+// releases, so the planner does not depend on math/rand's generator.
+type stream struct{ state uint64 }
+
+// newStream derives an independent stream from a seed and a salt chain
+// (phase index, user index, ...): each (seed, salts) tuple yields a
+// decorrelated sequence.
+func newStream(seed uint64, salts ...uint64) *stream {
+	s := mix64(seed ^ 0x6a09e667f3bcc908)
+	for _, v := range salts {
+		s = mix64(s ^ mix64(v+0x9e3779b97f4a7c15))
+	}
+	return &stream{state: s}
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n); n must be > 0.
+func (s *stream) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// rangeF returns a uniform draw in [lo, hi].
+func (s *stream) rangeF(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.float64()*(hi-lo)
+}
+
+// expMs returns an exponential inter-arrival gap in milliseconds for a
+// Poisson process of ratePerSec events per second.
+func (s *stream) expMs(ratePerSec float64) float64 {
+	u := s.float64()
+	return -math.Log(1-u) / ratePerSec * 1000
+}

@@ -1,0 +1,163 @@
+package stress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// reportBucketsMs are the harness-side latency histogram bounds (ms);
+// +Inf is implicit in the final cumulative bucket.
+var reportBucketsMs = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+}
+
+// HistBucket is one cumulative histogram bucket. Le is a string so the
+// +Inf bound survives JSON.
+type HistBucket struct {
+	Le    string `json:"le"`
+	Count int    `json:"count"`
+}
+
+// LatencySummary aggregates the harness-observed latency of successful
+// unfaulted requests.
+type LatencySummary struct {
+	Count     int          `json:"count"`
+	P50Ms     float64      `json:"p50Ms"`
+	P90Ms     float64      `json:"p90Ms"`
+	P99Ms     float64      `json:"p99Ms"`
+	MaxMs     float64      `json:"maxMs"`
+	Histogram []HistBucket `json:"histogram"`
+}
+
+// PhaseReport summarizes one phase's execution.
+type PhaseReport struct {
+	Name     string         `json:"name"`
+	Planned  int            `json:"planned"`
+	Executed int            `json:"executed"`
+	ByStatus map[string]int `json:"byStatus"`
+	ByFault  map[string]int `json:"byFault,omitempty"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// ReportTotals aggregates across phases.
+type ReportTotals struct {
+	Planned    int            `json:"planned"`
+	Executed   int            `json:"executed"`
+	ByStatus   map[string]int `json:"byStatus"`
+	ByFault    map[string]int `json:"byFault,omitempty"`
+	Violations []string       `json:"violations,omitempty"`
+}
+
+// Report is the STRESS_report.json artifact: everything needed to gate a
+// regression or replay a failure.
+type Report struct {
+	Scenario             string        `json:"scenario"`
+	Description          string        `json:"description,omitempty"`
+	Seed                 uint64        `json:"seed"`
+	ScheduleDigest       string        `json:"scheduleDigest"`
+	Target               string        `json:"target"`
+	StartedAt            string        `json:"startedAt"`
+	DurationSeconds      float64       `json:"durationSeconds"`
+	Totals               ReportTotals  `json:"totals"`
+	Phases               []PhaseReport `json:"phases"`
+	GoroutinesBaseline   float64       `json:"goroutinesBaseline"`
+	GoroutinesAfterDrain float64       `json:"goroutinesAfterDrain"`
+	// MetricsDelta lists every server counter that moved during the run,
+	// keyed "name{k=v,...}".
+	MetricsDelta map[string]float64 `json:"metricsDelta"`
+	Assertions   []AssertionResult  `json:"assertions"`
+	Failed       int                `json:"failedAssertions"`
+}
+
+// Passed reports whether every assertion held.
+func (r *Report) Passed() bool { return r.Failed == 0 }
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// summarizeLatency builds the percentile + histogram summary from raw
+// millisecond samples.
+func summarizeLatency(ms []float64) LatencySummary {
+	s := LatencySummary{Count: len(ms)}
+	if len(ms) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	s.P50Ms = percentile(sorted, 0.50)
+	s.P90Ms = percentile(sorted, 0.90)
+	s.P99Ms = percentile(sorted, 0.99)
+	s.MaxMs = sorted[len(sorted)-1]
+	s.Histogram = make([]HistBucket, 0, len(reportBucketsMs)+1)
+	for _, ub := range reportBucketsMs {
+		n := sort.SearchFloat64s(sorted, ub)
+		// SearchFloat64s finds the first index >= ub; cumulative count is
+		// the number of samples <= ub, so advance past equal values.
+		for n < len(sorted) && sorted[n] == ub {
+			n++
+		}
+		s.Histogram = append(s.Histogram, HistBucket{Le: fmt.Sprintf("%g", ub), Count: n})
+	}
+	s.Histogram = append(s.Histogram, HistBucket{Le: "+Inf", Count: len(sorted)})
+	return s
+}
+
+// buildPhaseReports groups observations by phase, preserving scenario
+// phase order.
+func buildPhaseReports(sched *Schedule, obs []Observation) ([]PhaseReport, ReportTotals) {
+	byPhase := make(map[string][]Observation)
+	for _, o := range obs {
+		byPhase[o.Phase] = append(byPhase[o.Phase], o)
+	}
+	totals := ReportTotals{ByStatus: make(map[string]int), ByFault: make(map[string]int)}
+	var phases []PhaseReport
+	for _, pp := range sched.Phases {
+		planned := 0
+		for _, u := range pp.Users {
+			planned += len(u.Ops)
+		}
+		pr := PhaseReport{
+			Name:     pp.Name,
+			Planned:  planned,
+			ByStatus: make(map[string]int),
+			ByFault:  make(map[string]int),
+		}
+		var lat []float64
+		for _, o := range byPhase[pp.Name] {
+			pr.Executed++
+			key := statusKey(o.Status)
+			pr.ByStatus[key]++
+			totals.ByStatus[key]++
+			if o.Fault != "" {
+				pr.ByFault[o.Fault]++
+				totals.ByFault[o.Fault]++
+			}
+			if o.Status == 200 && o.Fault == "" {
+				lat = append(lat, o.LatencyMs)
+			}
+			if o.Violation != "" {
+				totals.Violations = append(totals.Violations, o.Violation)
+			}
+		}
+		pr.Latency = summarizeLatency(lat)
+		totals.Planned += planned
+		totals.Executed += pr.Executed
+		phases = append(phases, pr)
+	}
+	return phases, totals
+}
+
+func statusKey(status int) string {
+	if status == 0 {
+		return "err"
+	}
+	return fmt.Sprintf("%d", status)
+}

@@ -1,0 +1,213 @@
+package stress
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// steadyScenario is a small clean-traffic run with latency, cache and
+// error-budget assertions.
+func steadyScenario() *Scenario {
+	sc := &Scenario{
+		Name:   "steady",
+		Seed:   7,
+		Server: &ServerConfig{Workers: 4, Queue: 64},
+		Graphs: []GraphSpec{{Handle: "g", Kind: "sparse", N: 2048, Seed: 1}},
+		Phases: []Phase{{
+			Name: "steady", Users: 4, Requests: 32,
+			Arrival: Arrival{Pattern: "closed", ThinkMsMin: 1, ThinkMsMax: 3},
+			Mix: []MixEntry{
+				{Weight: 3, Kernel: "BFS", Graph: "g", Sources: 4},
+				{Weight: 1, Kernel: "CONN_COMP", Graph: "g"},
+			},
+		}},
+		Assertions: Assertions{
+			MaxP99Ms:           f64(5000),
+			MaxShedRate:        f64(0),
+			MinCacheHitRate:    f64(0.1), // 32 requests over ≤8 distinct cache keys
+			MaxGoroutineGrowth: f64(0),
+			ErrorBudget: []ErrorBudget{
+				{Class: "5xx", MaxFraction: 0},
+				{Class: "4xx", MaxFraction: 0},
+				{Class: "error", MaxFraction: 0},
+			},
+			Metrics: []MetricAssertion{
+				{Name: "crono_inflight_runs", Op: "==", Value: 0},
+				{Name: "crono_http_requests_total", Labels: map[string]string{"code": "200"}, Delta: true, Op: ">=", Value: 32},
+			},
+		},
+	}
+	sc.normalize()
+	return sc
+}
+
+// cancelStormScenario reproduces the acceptance scenario at test scale: a
+// warm phase, then a storm of cancels, deadlines and junk against a tiny
+// pool, with the no-leak and shed-contract assertions.
+func cancelStormScenario() *Scenario {
+	sc := &Scenario{
+		Name:   "cancel-storm",
+		Seed:   99,
+		Server: &ServerConfig{Workers: 2, Queue: 4, ReadTimeoutMs: 500},
+		Graphs: []GraphSpec{{Handle: "g", Kind: "sparse", N: 2048, Seed: 2}},
+		Phases: []Phase{
+			{
+				Name: "warm", Users: 2, Requests: 6,
+				Arrival: Arrival{Pattern: "closed", ThinkMsMin: 1, ThinkMsMax: 2},
+				Mix:     []MixEntry{{Weight: 1, Kernel: "BFS", Graph: "g", Sources: 2}},
+			},
+			{
+				Name: "storm", Users: 6, Requests: 48,
+				Arrival: Arrival{Pattern: "poisson", RatePerSec: 400},
+				Mix: []MixEntry{{
+					Weight: 1, Kernel: "BFS", Graph: "g", Sources: 8,
+					Platform: "sim", Threads: 2, SimCores: 16,
+				}},
+				Faults: FaultPlan{
+					CancelRate: 0.3, CancelAfterMsMin: 1, CancelAfterMsMax: 20,
+					DeadlineRate: 0.2, BadJSONRate: 0.1,
+				},
+			},
+		},
+		Assertions: Assertions{
+			MaxGoroutineGrowth: f64(0),
+			RequireRetryAfter:  true,
+			ErrorBudget: []ErrorBudget{
+				// The acceptance bar: no 5xx other than the deliberate
+				// cancel 503s and deadline 504s.
+				{Class: "5xx", Exclude: []int{503, 504}, MaxFraction: 0},
+			},
+			Metrics: []MetricAssertion{
+				{Name: "crono_inflight_runs", Op: "==", Value: 0},
+				{Name: "crono_queue_depth", Op: "==", Value: 0},
+			},
+		},
+	}
+	sc.normalize()
+	return sc
+}
+
+func runScenario(t *testing.T, sc *Scenario) *Report {
+	t.Helper()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	base, shutdown, err := StartInProcess(sc)
+	if err != nil {
+		t.Fatalf("StartInProcess: %v", err)
+	}
+	t.Cleanup(shutdown)
+	rep, err := Run(context.Background(), sc, Options{BaseURL: base, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func TestRunSteadyState(t *testing.T) {
+	rep := runScenario(t, steadyScenario())
+	if !rep.Passed() {
+		for _, a := range rep.Assertions {
+			if !a.Pass {
+				t.Errorf("assertion %s: got %s, want %s", a.Name, a.Got, a.Want)
+			}
+		}
+		t.Fatalf("steady-state run failed %d assertions", rep.Failed)
+	}
+	if rep.Totals.Executed != 32 {
+		t.Errorf("executed %d ops, want 32", rep.Totals.Executed)
+	}
+	if rep.Totals.ByStatus["200"] != 32 {
+		t.Errorf("byStatus = %v, want all 32 OK", rep.Totals.ByStatus)
+	}
+	if rep.Phases[0].Latency.Count == 0 || rep.Phases[0].Latency.P99Ms <= 0 {
+		t.Errorf("latency summary empty: %+v", rep.Phases[0].Latency)
+	}
+	if rep.ScheduleDigest == "" {
+		t.Error("report missing schedule digest")
+	}
+}
+
+// TestRunCancelStorm is the tentpole acceptance test: a storm of client
+// cancels and deadlines against a saturated pool must leave zero goroutine
+// growth after drain, answer every shed with 429 + Retry-After, and emit
+// no 5xx beyond the deliberate 503/504.
+func TestRunCancelStorm(t *testing.T) {
+	rep := runScenario(t, cancelStormScenario())
+	if !rep.Passed() {
+		for _, a := range rep.Assertions {
+			if !a.Pass {
+				t.Errorf("assertion %s: got %s, want %s", a.Name, a.Got, a.Want)
+			}
+		}
+		t.Fatalf("cancel-storm run failed %d assertions", rep.Failed)
+	}
+	if rep.GoroutinesAfterDrain > rep.GoroutinesBaseline {
+		t.Errorf("goroutines grew %g → %g", rep.GoroutinesBaseline, rep.GoroutinesAfterDrain)
+	}
+	for status := range rep.Totals.ByStatus {
+		switch status {
+		case "200", "400", "429", "503", "504", "err":
+		default:
+			t.Errorf("unexpected status class %s in %v", status, rep.Totals.ByStatus)
+		}
+	}
+	if len(rep.Totals.Violations) > 0 {
+		t.Errorf("post-condition violations: %v", rep.Totals.Violations)
+	}
+}
+
+// TestRunReplayableSchedule pins end-to-end replayability: two runs of the
+// same scenario + seed must report the same schedule digest even though
+// wall-clock outcomes differ.
+func TestRunReplayableSchedule(t *testing.T) {
+	a := runScenario(t, steadyScenario())
+	b := runScenario(t, steadyScenario())
+	if a.ScheduleDigest != b.ScheduleDigest {
+		t.Fatalf("schedule digests differ across runs: %s vs %s", a.ScheduleDigest, b.ScheduleDigest)
+	}
+}
+
+func TestRunBudgetCap(t *testing.T) {
+	sc := steadyScenario()
+	// Loosen the cache-hit floor: with 8 requests over 8 distinct keys
+	// there may be no repeats.
+	sc.Assertions.MinCacheHitRate = nil
+	sc.Assertions.Metrics = []MetricAssertion{
+		{Name: "crono_inflight_runs", Op: "==", Value: 0},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	base, shutdown, err := StartInProcess(sc)
+	if err != nil {
+		t.Fatalf("StartInProcess: %v", err)
+	}
+	t.Cleanup(shutdown)
+	rep, err := Run(context.Background(), sc, Options{BaseURL: base, MaxRequests: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Totals.Planned != 8 {
+		t.Errorf("budget cap planned %d ops, want 8", rep.Totals.Planned)
+	}
+	if !rep.Passed() {
+		t.Errorf("capped run failed assertions: %+v", rep.Assertions)
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	rep := runScenario(t, steadyScenario())
+	path := filepath.Join(t.TempDir(), "STRESS_report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	loaded, err := Load(path)
+	_ = loaded
+	if err == nil {
+		t.Fatal("Load accepted a report file as a scenario; schema overlap is a bug")
+	}
+}

@@ -1,0 +1,133 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimalScenario returns a valid one-phase scenario the tests mutate.
+func minimalScenario() *Scenario {
+	return &Scenario{
+		Name: "t",
+		Seed: 1,
+		Graphs: []GraphSpec{
+			{Handle: "g", Kind: "sparse", N: 1024, Seed: 7},
+		},
+		Phases: []Phase{{
+			Name:     "main",
+			Users:    2,
+			Requests: 10,
+			Arrival:  Arrival{Pattern: "closed"},
+			Mix:      []MixEntry{{Weight: 1, Kernel: "BFS", Graph: "g"}},
+		}},
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "defaults",
+		"seed": 3,
+		"graphs": [{"handle": "g", "kind": "sparse", "n": 512, "seed": 1}],
+		"phases": [{
+			"name": "p", "users": 1, "requests": 4,
+			"arrival": {"pattern": "closed"},
+			"mix": [{"weight": 1, "kernel": "BFS", "graph": "g"}]
+		}]
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := sc.Phases[0].Mix[0]
+	if m.Platform != "native" || m.Strategy != "frontier" || m.Threads != 4 ||
+		m.TimeoutMs != 10000 || m.Sources != 1 {
+		t.Errorf("defaults not applied: %+v", m)
+	}
+	if sc.Phases[0].Faults.DeadlineMs != 1 || sc.Phases[0].Faults.OversizeBytes != 2<<20 {
+		t.Errorf("fault defaults not applied: %+v", sc.Phases[0].Faults)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name": "x", "seed": 1, "phasez": []}`))
+	if err == nil || !strings.Contains(err.Error(), "phasez") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"no phases", func(s *Scenario) { s.Phases = nil }, "at least one phase"},
+		{"bad kernel", func(s *Scenario) { s.Phases[0].Mix[0].Kernel = "NOPE" }, "NOPE"},
+		{"dangling graph", func(s *Scenario) { s.Phases[0].Mix[0].Graph = "missing" }, "not declared"},
+		{"bad kind", func(s *Scenario) { s.Graphs[0].Kind = "hyper" }, "unknown kind"},
+		{"dup handle", func(s *Scenario) { s.Graphs = append(s.Graphs, s.Graphs[0]) }, "duplicate graph handle"},
+		{"bad pattern", func(s *Scenario) { s.Phases[0].Arrival.Pattern = "fractal" }, "unknown arrival pattern"},
+		{"poisson no rate", func(s *Scenario) { s.Phases[0].Arrival = Arrival{Pattern: "poisson"} }, "ratePerSec"},
+		{"burst no interval", func(s *Scenario) { s.Phases[0].Arrival = Arrival{Pattern: "burst"} }, "burstIntervalMs"},
+		{"zero weight", func(s *Scenario) { s.Phases[0].Mix[0].Weight = 0 }, "weight"},
+		{"rate sum", func(s *Scenario) {
+			s.Phases[0].Faults.CancelRate = 0.7
+			s.Phases[0].Faults.DeadlineRate = 0.6
+		}, "sum"},
+		{"negative rate", func(s *Scenario) { s.Phases[0].Faults.BadJSONRate = -0.1 }, "outside [0, 1]"},
+		{"sources exceed n", func(s *Scenario) { s.Phases[0].Mix[0].Sources = 4096 }, "sources"},
+		{"bad strategy", func(s *Scenario) { s.Phases[0].Mix[0].Strategy = "warp" }, "strategy"},
+		{"bad platform", func(s *Scenario) { s.Phases[0].Mix[0].Platform = "quantum" }, "platform"},
+		{"tsp no cities", func(s *Scenario) {
+			s.Phases[0].Mix[0] = MixEntry{Weight: 1, Kernel: "TSP", Platform: "native", Strategy: "frontier", Threads: 2, TimeoutMs: 1000, Sources: 1}
+		}, "cities"},
+		{"bad budget class", func(s *Scenario) {
+			s.Assertions.ErrorBudget = []ErrorBudget{{Class: "9xx", MaxFraction: 0}}
+		}, "status class"},
+		{"bad metric op", func(s *Scenario) {
+			s.Assertions.Metrics = []MetricAssertion{{Name: "x", Op: "~="}}
+		}, "op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := minimalScenario()
+			sc.normalize()
+			tc.mutate(sc)
+			err := sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScaleBudget(t *testing.T) {
+	sc := minimalScenario()
+	sc.Phases = append(sc.Phases, sc.Phases[0])
+	sc.Phases[0].Requests = 300
+	sc.Phases[1].Requests = 100
+	sc.ScaleBudget(100)
+	if got := sc.Phases[0].Requests + sc.Phases[1].Requests; got > 100 {
+		t.Fatalf("scaled total = %d, want <= 100", got)
+	}
+	if sc.Phases[0].Requests != 75 || sc.Phases[1].Requests != 25 {
+		t.Fatalf("scaling not proportional: %d / %d", sc.Phases[0].Requests, sc.Phases[1].Requests)
+	}
+	// Never scale a phase to zero.
+	sc2 := minimalScenario()
+	sc2.Phases[0].Requests = 1000
+	sc2.Phases = append(sc2.Phases, Phase{
+		Name: "tiny", Users: 1, Requests: 1,
+		Arrival: Arrival{Pattern: "closed"},
+		Mix:     []MixEntry{{Weight: 1, Kernel: "BFS", Graph: "g"}},
+	})
+	sc2.ScaleBudget(10)
+	if sc2.Phases[1].Requests < 1 {
+		t.Fatalf("phase scaled below one request: %d", sc2.Phases[1].Requests)
+	}
+	// No-op when already under budget.
+	sc3 := minimalScenario()
+	sc3.ScaleBudget(1000)
+	if sc3.Phases[0].Requests != 10 {
+		t.Fatalf("under-budget scenario rescaled to %d", sc3.Phases[0].Requests)
+	}
+}
