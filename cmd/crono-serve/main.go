@@ -13,6 +13,8 @@
 //
 //	curl -s localhost:8080/v1/graphs -d '{"kind":"sparse","n":65536,"seed":42}'
 //	curl -s localhost:8080/v1/run -d '{"graph":"<id>","kernel":"BFS","threads":8}'
+//	curl -s -X PATCH localhost:8080/v1/graphs/<id> -d '{"inserts":[{"from":0,"to":9,"weight":3}]}'
+//	curl -s localhost:8080/v1/graphs/<id>/versions
 //	curl -s localhost:8080/metrics
 //
 // The server drains in-flight requests on SIGINT/SIGTERM, bounded by
@@ -67,7 +69,7 @@ func main() {
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "kernel worker pool size")
 	flag.IntVar(&cfg.QueueLen, "queue", cfg.QueueLen, "worker queue bound (beyond it requests shed with 429)")
 	flag.IntVar(&cfg.CacheEntries, "cache", cfg.CacheEntries, "result cache capacity (entries)")
-	flag.IntVar(&cfg.MaxGraphs, "max-graphs", cfg.MaxGraphs, "graph store capacity")
+	flag.IntVar(&cfg.MaxGraphs, "max-graphs", cfg.MaxGraphs, "graph store capacity (every PATCH-created version counts)")
 	flag.IntVar(&cfg.MaxVertices, "max-vertices", cfg.MaxVertices, "largest accepted graph")
 	flag.IntVar(&cfg.SimCores, "sim-cores", cfg.SimCores, "default simulated core count (perfect square)")
 	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")

@@ -303,6 +303,54 @@ func PageRankPull(pl Platform, g *Graph, threads, iters int) (*PageRankResult, e
 // Modularity evaluates Newman modularity of a community assignment.
 func Modularity(g *Graph, community []int32) float64 { return core.Modularity(g, community) }
 
+// EdgeDelta is a validated batch of edge mutations against a CSR graph:
+// the dynamic-graph unit of change. Canonicalize before use.
+type EdgeDelta = graph.EdgeDelta
+
+// ErrNoIncremental reports that a kernel has no incremental form for the
+// given delta (e.g. connected components with deletes); callers fall back
+// to a full recompute.
+var ErrNoIncremental = core.ErrNoIncremental
+
+// ApplyDelta materializes the graph a canonical delta produces from base:
+// one linear merge pass, base untouched (copy-on-write).
+func ApplyDelta(base *Graph, d *EdgeDelta) *Graph { return graph.ApplyDelta(base, d) }
+
+// LineageFingerprint chains a parent version fingerprint with a delta
+// fingerprint into the child version's fingerprint. Non-commutative:
+// the same patches in a different order yield different versions.
+func LineageFingerprint(parent, delta uint64) uint64 {
+	return graph.LineageFingerprint(parent, delta)
+}
+
+// IncrementalOK reports whether kernel has an incremental repair for a
+// delta of the given shape (the serving layer's incremental-vs-full
+// decision rule).
+func IncrementalOK(kernel string, inserts, deletes, edges int) bool {
+	return core.IncrementalOK(kernel, inserts, deletes, edges)
+}
+
+// BFSIncremental repairs a BFS result after a graph mutation: g is the
+// post-delta graph, oldLevel the pre-delta levels. Bit-identical to a
+// full recompute at a fraction of the work when the delta is small.
+func BFSIncremental(pl Platform, g *Graph, source, threads int, oldLevel []int32, d *EdgeDelta) (*BFSResult, error) {
+	return core.BFSIncremental(context.Background(), pl, g, source, threads, oldLevel, d)
+}
+
+// ComponentsIncremental repairs a connected-components result after an
+// insert-only mutation (deletes return ErrNoIncremental). Labels are
+// bit-identical to a full frontier recompute.
+func ComponentsIncremental(pl Platform, g *Graph, threads int, oldLabels []int32, d *EdgeDelta) (*ComponentsResult, error) {
+	return core.ComponentsIncremental(context.Background(), pl, g, threads, oldLabels, d)
+}
+
+// CommunityIncremental repairs a Louvain community assignment after a
+// mutation by bounded re-iteration over the affected region (heuristic,
+// like the full kernel).
+func CommunityIncremental(pl Platform, g *Graph, threads, maxPasses int, oldComm []int32, d *EdgeDelta) (*CommunityResult, error) {
+	return core.CommunityIncremental(context.Background(), pl, g, threads, maxPasses, oldComm, d)
+}
+
 // Server is the graph-analytics HTTP service: a sharded graph store, a
 // bounded kernel worker pool with load shedding, an LRU result cache with
 // in-flight coalescing, and Prometheus-text metrics. Mount Handler() on an

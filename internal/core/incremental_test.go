@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// randomDelta draws a mixed insert/delete batch against g: fresh edges,
+// weight overwrites are avoided (used map), deletes split between real
+// edges and documented no-op absences.
+func randomDelta(g *graph.CSR, rng *rand.Rand, inserts, deletes int) *graph.EdgeDelta {
+	d := &graph.EdgeDelta{}
+	used := make(map[[2]int32]bool)
+	pair := func() (int32, int32) {
+		for {
+			a, b := int32(rng.Intn(g.N)), int32(rng.Intn(g.N))
+			if a != b && !used[[2]int32{a, b}] {
+				used[[2]int32{a, b}] = true
+				return a, b
+			}
+		}
+	}
+	for i := 0; i < inserts; i++ {
+		a, b := pair()
+		d.Inserts = append(d.Inserts, graph.Edge{From: a, To: b, Weight: int32(1 + rng.Intn(16))})
+	}
+	for i := 0; i < deletes; i++ {
+		if i%2 == 0 {
+			for tries := 0; tries < 64; tries++ {
+				v := rng.Intn(g.N)
+				ts, _ := g.Neighbors(v)
+				if len(ts) == 0 {
+					continue
+				}
+				u := ts[rng.Intn(len(ts))]
+				if used[[2]int32{int32(v), u}] {
+					continue
+				}
+				used[[2]int32{int32(v), u}] = true
+				d.Deletes = append(d.Deletes, graph.Edge{From: int32(v), To: u})
+				break
+			}
+		} else {
+			a, b := pair()
+			d.Deletes = append(d.Deletes, graph.Edge{From: a, To: b})
+		}
+	}
+	return d
+}
+
+// TestBFSIncrementalMatchesFullOnGeneratorMatrix is the bit-identity
+// property test: for every stock generator, a chain of random
+// insert+delete batches is applied and each repaired BFS is compared
+// element-wise against a from-scratch run on the mutated graph. BFS
+// levels are uniquely determined by (graph, source), so "bit-identical"
+// is exact equality of Level, Visited and Levels.
+func TestBFSIncrementalMatchesFullOnGeneratorMatrix(t *testing.T) {
+	const n = 2000
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range graph.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			g := graph.Generate(kind, n, 7)
+			old := BFSRef(g, 0)
+			for trial := 0; trial < 4; trial++ {
+				d := randomDelta(g, rng, 12, 8)
+				if err := d.Canonicalize(g.N); err != nil {
+					t.Fatal(err)
+				}
+				next := graph.ApplyDelta(g, d)
+				res, err := BFSIncremental(ctx, native.New(), next, 0, 8, old, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := BFSRef(next, 0)
+				for v := range want {
+					if res.Level[v] != want[v] {
+						t.Fatalf("trial %d: level[%d] = %d, full recompute %d",
+							trial, v, res.Level[v], want[v])
+					}
+				}
+				full, err := BFSFrontier(ctx, native.New(), next, 0, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Visited != full.Visited || res.Levels != full.Levels {
+					t.Fatalf("trial %d: incremental (visited=%d levels=%d) != full (visited=%d levels=%d)",
+						trial, res.Visited, res.Levels, full.Visited, full.Levels)
+				}
+				// Chain: the repaired result seeds the next trial's repair.
+				g, old = next, res.Level
+			}
+		})
+	}
+}
+
+// TestBFSIncrementalUntouchedReachableRegion pins the cutoff fast path:
+// a delta entirely outside the reachable region leaves every level
+// untouched without running any BFS rounds.
+func TestBFSIncrementalUntouchedReachableRegion(t *testing.T) {
+	// 0->1 reachable chain; 2,3 unreachable from 0.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1, Weight: 1}}, false)
+	old := BFSRef(g, 0)
+	d := &graph.EdgeDelta{Inserts: []graph.Edge{{From: 2, To: 3, Weight: 1}}}
+	if err := d.Canonicalize(g.N); err != nil {
+		t.Fatal(err)
+	}
+	next := graph.ApplyDelta(g, d)
+	res, err := BFSIncremental(context.Background(), native.New(), next, 0, 2, old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BFSRef(next, 0)
+	for v := range want {
+		if res.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Level[v], want[v])
+		}
+	}
+	if res.Visited != 2 || res.Levels != 2 {
+		t.Fatalf("visited=%d levels=%d, want 2/2", res.Visited, res.Levels)
+	}
+}
+
+// TestComponentsIncrementalMatchesFullOnGeneratorMatrix checks the
+// insert-only CC repair against a from-scratch frontier run. The
+// min-label fixpoint is unique, so labels must match exactly even
+// though the inserted edges are directed (possibly asymmetric).
+func TestComponentsIncrementalMatchesFullOnGeneratorMatrix(t *testing.T) {
+	const n = 2000
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	for _, kind := range graph.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			g := graph.Generate(kind, n, 9)
+			fullSeed, err := ComponentsFrontier(ctx, native.New(), g, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old := fullSeed.Labels
+			for trial := 0; trial < 4; trial++ {
+				d := randomDelta(g, rng, 16, 0)
+				if err := d.Canonicalize(g.N); err != nil {
+					t.Fatal(err)
+				}
+				next := graph.ApplyDelta(g, d)
+				res, err := ComponentsIncremental(ctx, native.New(), next, 8, old, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := ComponentsFrontier(ctx, native.New(), next, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range full.Labels {
+					if res.Labels[v] != full.Labels[v] {
+						t.Fatalf("trial %d: label[%d] = %d, full recompute %d",
+							trial, v, res.Labels[v], full.Labels[v])
+					}
+				}
+				if res.Components != full.Components {
+					t.Fatalf("trial %d: components %d != full %d", trial, res.Components, full.Components)
+				}
+				g, old = next, res.Labels
+			}
+		})
+	}
+}
+
+// TestComponentsIncrementalRejectsDeletes pins the fallback contract: a
+// delete can split a component, so the repair must refuse and send the
+// caller to full recompute.
+func TestComponentsIncrementalRejectsDeletes(t *testing.T) {
+	g := graph.Generate(graph.KindSparse, 100, 1)
+	old := ComponentsRef(g)
+	ts, _ := g.Neighbors(0)
+	if len(ts) == 0 {
+		t.Fatal("generator produced an isolated vertex 0")
+	}
+	d := &graph.EdgeDelta{Deletes: []graph.Edge{{From: 0, To: ts[0]}}}
+	if err := d.Canonicalize(g.N); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ComponentsIncremental(context.Background(), native.New(), graph.ApplyDelta(g, d), 4, old, d)
+	if !errors.Is(err, ErrNoIncremental) {
+		t.Fatalf("err = %v, want ErrNoIncremental", err)
+	}
+}
+
+// TestCommunityIncrementalProducesValidPartition checks the bounded
+// re-iteration repair for COMM: the result must be a valid partition
+// with finite modularity and must not disturb vertices far from the
+// delta (only seeded vertices and their transitive neighborhood may
+// move). COMM is a heuristic, so no bit-identity claim is made.
+func TestCommunityIncrementalProducesValidPartition(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(17))
+	for _, kind := range graph.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			g := graph.Generate(kind, 1500, 5)
+			seedRes, err := CommunityFrontier(ctx, native.New(), g, 8, DefaultCommunityPasses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := randomDelta(g, rng, 10, 6)
+			if err := d.Canonicalize(g.N); err != nil {
+				t.Fatal(err)
+			}
+			next := graph.ApplyDelta(g, d)
+			res, err := CommunityIncremental(ctx, native.New(), next, 8, DefaultCommunityPasses, seedRes.Community, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Community) != next.N {
+				t.Fatalf("community array has %d entries, want %d", len(res.Community), next.N)
+			}
+			for v, c := range res.Community {
+				if c < 0 || int(c) >= next.N {
+					t.Fatalf("community[%d] = %d out of range", v, c)
+				}
+			}
+			if math.IsNaN(res.Modularity) || math.IsInf(res.Modularity, 0) {
+				t.Fatalf("modularity %v not finite", res.Modularity)
+			}
+			if res.Modularity < -1 || res.Modularity > 1 {
+				t.Fatalf("modularity %v outside [-1, 1]", res.Modularity)
+			}
+		})
+	}
+}
+
+// TestIncrementalOK pins the incremental-vs-full decision rule.
+func TestIncrementalOK(t *testing.T) {
+	cases := []struct {
+		kernel           string
+		inserts, deletes int
+		edges            int
+		want             bool
+		why              string
+	}{
+		{"BFS", 4, 4, 1000, true, "small mixed delta repairs"},
+		{"BFS", 0, 0, 1000, false, "empty delta has nothing to repair"},
+		{"BFS", 100, 100, 1000, false, "delta beyond 1/8 of edges falls back"},
+		{"CONN_COMP", 8, 0, 1000, true, "insert-only CC repairs"},
+		{"CONN_COMP", 8, 1, 1000, false, "any delete can split a component"},
+		{"COMM", 5, 5, 1000, true, "COMM re-iterates over the affected region"},
+		{"PageRank", 4, 0, 1000, false, "no incremental form"},
+		{"SSSP_DIJK", 4, 0, 1000, false, "no incremental form"},
+	}
+	for _, tc := range cases {
+		if got := IncrementalOK(tc.kernel, tc.inserts, tc.deletes, tc.edges); got != tc.want {
+			t.Errorf("IncrementalOK(%s, %d, %d, %d) = %v, want %v (%s)",
+				tc.kernel, tc.inserts, tc.deletes, tc.edges, got, tc.want, tc.why)
+		}
+	}
+}
+
+// TestBFSIncrementalSeedValidation pins the defensive checks on the
+// seed result.
+func TestBFSIncrementalSeedValidation(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1, Weight: 1}}, true)
+	d := &graph.EdgeDelta{Inserts: []graph.Edge{{From: 1, To: 2, Weight: 1}}}
+	if err := d.Canonicalize(g.N); err != nil {
+		t.Fatal(err)
+	}
+	next := graph.ApplyDelta(g, d)
+	if _, err := BFSIncremental(context.Background(), native.New(), next, 0, 2, make([]int32, 2), d); err == nil {
+		t.Fatal("accepted a seed of the wrong length")
+	}
+	bad := []int32{5, -1, -1, -1} // source not at level 0
+	if _, err := BFSIncremental(context.Background(), native.New(), next, 0, 2, bad, d); err == nil {
+		t.Fatal("accepted a seed whose source level is not 0")
+	}
+}

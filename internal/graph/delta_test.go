@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// modelApply applies a canonical delta to an edge map — the obviously
+// correct model ApplyDelta's merge is checked against.
+func modelApply(base *CSR, d *EdgeDelta) map[[2]int32]int32 {
+	m := make(map[[2]int32]int32)
+	for _, e := range base.Edges() {
+		m[[2]int32{e.From, e.To}] = e.Weight
+	}
+	for _, e := range d.Deletes {
+		delete(m, [2]int32{e.From, e.To})
+	}
+	for _, e := range d.Inserts {
+		m[[2]int32{e.From, e.To}] = e.Weight
+	}
+	return m
+}
+
+func randomDelta(g *CSR, rng *rand.Rand, inserts, deletes int) *EdgeDelta {
+	d := &EdgeDelta{}
+	used := make(map[[2]int32]bool)
+	pair := func() (int32, int32) {
+		for {
+			a, b := int32(rng.Intn(g.N)), int32(rng.Intn(g.N))
+			if a != b && !used[[2]int32{a, b}] {
+				used[[2]int32{a, b}] = true
+				return a, b
+			}
+		}
+	}
+	for i := 0; i < inserts; i++ {
+		a, b := pair()
+		d.Inserts = append(d.Inserts, Edge{From: a, To: b, Weight: int32(1 + rng.Intn(16))})
+	}
+	for i := 0; i < deletes; i++ {
+		if i%2 == 0 {
+			// Delete a real edge: pick a vertex with neighbors.
+			for tries := 0; tries < 64; tries++ {
+				v := rng.Intn(g.N)
+				ts, _ := g.Neighbors(v)
+				if len(ts) == 0 {
+					continue
+				}
+				u := ts[rng.Intn(len(ts))]
+				if used[[2]int32{int32(v), u}] {
+					continue
+				}
+				used[[2]int32{int32(v), u}] = true
+				d.Deletes = append(d.Deletes, Edge{From: int32(v), To: u})
+				break
+			}
+		} else {
+			// Absent deletes exercise the documented no-op path.
+			a, b := pair()
+			d.Deletes = append(d.Deletes, Edge{From: a, To: b})
+		}
+	}
+	return d
+}
+
+func TestApplyDeltaMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			g := Generate(kind, 500, 3)
+			for trial := 0; trial < 5; trial++ {
+				d := randomDelta(g, rng, 20, 12)
+				if err := d.Canonicalize(g.N); err != nil {
+					t.Fatalf("canonicalize: %v", err)
+				}
+				out := ApplyDelta(g, d)
+				if err := out.Validate(); err != nil {
+					t.Fatalf("applied CSR invalid: %v", err)
+				}
+				want := modelApply(g, d)
+				if out.M() != len(want) {
+					t.Fatalf("m = %d, model has %d edges", out.M(), len(want))
+				}
+				for _, e := range out.Edges() {
+					w, ok := want[[2]int32{e.From, e.To}]
+					if !ok {
+						t.Fatalf("unexpected edge %d->%d", e.From, e.To)
+					}
+					if w != e.Weight {
+						t.Fatalf("edge %d->%d weight %d, model %d", e.From, e.To, e.Weight, w)
+					}
+				}
+				g = out // chain deltas: each trial mutates the previous result
+			}
+		})
+	}
+}
+
+func TestApplyDeltaWeightOverwriteAndNoopDelete(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1, 5}, {1, 2, 5}}, false)
+	d := &EdgeDelta{
+		Inserts: []Edge{{From: 0, To: 1, Weight: 9}}, // overwrite 5 -> 9
+		Deletes: []Edge{{From: 2, To: 3}},            // absent: no-op
+	}
+	if err := d.Canonicalize(g.N); err != nil {
+		t.Fatal(err)
+	}
+	out := ApplyDelta(g, d)
+	if out.M() != 2 {
+		t.Fatalf("m = %d, want 2", out.M())
+	}
+	if w, ok := out.EdgeWeight(0, 1); !ok || w != 9 {
+		t.Fatalf("edge 0->1 weight %d (present=%v), want 9", w, ok)
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		d    EdgeDelta
+	}{
+		{"insert out of range", EdgeDelta{Inserts: []Edge{{0, 99, 1}}}},
+		{"delete out of range", EdgeDelta{Deletes: []Edge{{-1, 1, 0}}}},
+		{"self loop", EdgeDelta{Inserts: []Edge{{2, 2, 1}}}},
+		{"negative weight", EdgeDelta{Inserts: []Edge{{0, 1, -3}}}},
+		{"duplicate insert", EdgeDelta{Inserts: []Edge{{0, 1, 1}, {0, 1, 2}}}},
+		{"insert and delete", EdgeDelta{Inserts: []Edge{{0, 1, 1}}, Deletes: []Edge{{0, 1, 0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.d.Canonicalize(8); err == nil {
+				t.Fatal("Canonicalize accepted an invalid delta")
+			}
+		})
+	}
+}
+
+func TestDeltaFingerprintOrderInvariant(t *testing.T) {
+	a := &EdgeDelta{
+		Inserts: []Edge{{3, 4, 2}, {0, 1, 7}},
+		Deletes: []Edge{{5, 6, 0}, {1, 2, 0}, {5, 6, 0}}, // dup delete collapses
+	}
+	b := &EdgeDelta{
+		Inserts: []Edge{{0, 1, 7}, {3, 4, 2}},
+		Deletes: []Edge{{1, 2, 0}, {5, 6, 0}},
+	}
+	if err := a.Canonicalize(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Canonicalize(8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("canonical fingerprints differ for reordered batches")
+	}
+	c := &EdgeDelta{Inserts: []Edge{{0, 1, 8}}}
+	if err := c.Canonicalize(8); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("distinct deltas share a fingerprint")
+	}
+}
+
+func TestLineageFingerprint(t *testing.T) {
+	if LineageFingerprint(1, 2) == LineageFingerprint(2, 1) {
+		t.Fatal("lineage fingerprint is symmetric; parent and delta must not commute")
+	}
+	if LineageFingerprint(1, 2) != LineageFingerprint(1, 2) {
+		t.Fatal("lineage fingerprint not deterministic")
+	}
+	// Two lineages reaching different content must not collide with their
+	// parents: a child's fingerprint differs from the parent fingerprint
+	// it chains from.
+	if LineageFingerprint(42, 7) == 42 {
+		t.Fatal("child fingerprint equals parent fingerprint")
+	}
+}

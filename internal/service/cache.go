@@ -66,6 +66,21 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// Peek returns the completed value for key without counting a hit or
+// miss and without waiting on an in-flight computation. It refreshes the
+// entry's LRU position: a peeked value is about to be used (as an
+// incremental-repair seed), so it should not be the next eviction victim.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.val, true
+}
+
 // Do returns the value for key, computing it with compute if absent.
 // Exactly one caller runs compute per in-flight key; concurrent callers
 // coalesce onto that computation. started reports whether this call ran

@@ -33,7 +33,7 @@ func TestDeadlinedRunFreesWorkerSlot(t *testing.T) {
 	var e errorResponse
 	decodeBody(t, resp, &e)
 	if resp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("status %d (%s), want 504", resp.StatusCode, e.Error)
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, e.Error.Message)
 	}
 
 	// The handler already returned, but the worker may still be inside the
@@ -82,7 +82,7 @@ func TestRunKnobValidation(t *testing.T) {
 		var e errorResponse
 		decodeBody(t, resp, &e)
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%+v: status %d (%s), want 400", req, resp.StatusCode, e.Error)
+			t.Errorf("%+v: status %d (%s), want 400", req, resp.StatusCode, e.Error.Message)
 		}
 	}
 }

@@ -32,9 +32,13 @@ type graphRequest struct {
 	Data   string `json:"data,omitempty"`
 }
 
-// graphResponse describes a resident graph.
+// graphResponse describes a resident graph at one version (the head,
+// unless the request named a version explicitly).
 type graphResponse struct {
-	ID          string  `json:"id"`
+	ID string `json:"id"`
+	// Version is the resolved version ID; Versions counts the lineage.
+	Version     string  `json:"version"`
+	Versions    int     `json:"versions"`
 	Fingerprint string  `json:"fingerprint"`
 	Desc        string  `json:"desc"`
 	N           int     `json:"n"`
@@ -43,9 +47,77 @@ type graphResponse struct {
 	MaxDegree   int     `json:"maxDegree"`
 }
 
+// edgeSpec is one edge mutation in a patch request.
+type edgeSpec struct {
+	From   int32 `json:"from"`
+	To     int32 `json:"to"`
+	Weight int32 `json:"weight,omitempty"`
+}
+
+// patchRequest mutates a graph: validated edge insert/delete batches,
+// optionally pinned to an expected parent version (optimistic
+// concurrency control — see handlePatch).
+type patchRequest struct {
+	Inserts []edgeSpec `json:"inserts,omitempty"`
+	Deletes []edgeSpec `json:"deletes,omitempty"`
+	// Parent pins the version this patch expects to apply to. Empty means
+	// "the current head, whatever it is".
+	Parent string `json:"parent,omitempty"`
+}
+
+// patchResponse reports the version a patch produced (or replayed).
+type patchResponse struct {
+	Graph   string `json:"graph"`
+	Version string `json:"version"`
+	Parent  string `json:"parent"`
+	Ordinal int    `json:"ordinal"`
+	// DeltaSize is the number of mutations applied from the parent.
+	DeltaSize int `json:"deltaSize"`
+	// Replayed is true when an identical patch (same parent, same delta)
+	// had already been applied and the stored version is returned —
+	// idempotent retry semantics.
+	Replayed    bool   `json:"replayed,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// graphSummary is one row of the paged graph listing.
+type graphSummary struct {
+	ID       string `json:"id"`
+	Desc     string `json:"desc"`
+	N        int    `json:"n"`
+	Versions int    `json:"versions"`
+	Head     string `json:"head"`
+}
+
+// graphListResponse is the paged GET /v1/graphs body.
+type graphListResponse struct {
+	Graphs []graphSummary `json:"graphs"`
+	Total  int            `json:"total"`
+	Offset int            `json:"offset"`
+	Limit  int            `json:"limit"`
+}
+
+// versionInfo is one lineage entry of GET /v1/graphs/{id}/versions.
+type versionInfo struct {
+	ID          string `json:"id"`
+	Parent      string `json:"parent,omitempty"`
+	Ordinal     int    `json:"ordinal"`
+	DeltaSize   int    `json:"deltaSize"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// versionsResponse is the lineage listing, root first.
+type versionsResponse struct {
+	Graph    string        `json:"graph"`
+	Head     string        `json:"head"`
+	Versions []versionInfo `json:"versions"`
+}
+
 // runRequest executes one kernel.
 type runRequest struct {
-	// Graph is the stored graph ID (unused by TSP).
+	// Graph references the input: a graph ID ("g…", resolving to the
+	// lineage head) or a version ID ("v…", pinning an exact version).
+	// Unused by TSP.
 	Graph string `json:"graph,omitempty"`
 	// Kernel is the paper identifier, e.g. "BFS" or "SSSP_DIJK".
 	Kernel string `json:"kernel"`
@@ -82,6 +154,15 @@ type runResponse struct {
 	Kernel   string `json:"kernel"`
 	Platform string `json:"platform"`
 	Threads  int    `json:"threads"`
+	// Graph and GraphVersion name the exact input the result was computed
+	// on. GraphVersion is the resolved version even when the request used
+	// the graph ID: the contract that a cached result is never served for
+	// a version other than the one named here.
+	Graph        string `json:"graph,omitempty"`
+	GraphVersion string `json:"graphVersion,omitempty"`
+	// Incremental is true when the result was repaired from the parent
+	// version's cached result instead of recomputed from scratch.
+	Incremental bool `json:"incremental,omitempty"`
 	// Cached is true when the result came from the LRU or an in-flight
 	// coalesced computation rather than a fresh kernel execution.
 	Cached bool `json:"cached"`
@@ -110,8 +191,33 @@ type kernelInfo struct {
 	Input           string `json:"input"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// cachedRun is the result-cache value: the wire response plus the kernel
+// payload arrays that seed incremental repairs on child versions. The
+// arrays are never mutated after the run (incremental kernels copy their
+// seed), so cache entries can share them.
+type cachedRun struct {
+	resp   *runResponse
+	level  []int32 // BFS levels
+	labels []int32 // CONN_COMP labels
+	comm   []int32 // COMM assignment
+}
+
+// incrementalSeed tells execute to repair the parent version's result
+// instead of recomputing. delta is the child version's canonical delta;
+// exactly one payload field is set, matching the kernel.
+type incrementalSeed struct {
+	delta  *graph.EdgeDelta
+	level  []int32
+	labels []int32
+	comm   []int32
+}
+
+// runMeta carries per-request identity that execute folds into the
+// cached response.
+type runMeta struct {
+	graphID   string
+	versionID string
+	inc       *incrementalSeed
 }
 
 // ---- helpers ----
@@ -124,10 +230,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -135,26 +237,38 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
 		} else {
-			writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+			writeError(w, http.StatusBadRequest, codeBadJSON, "invalid request body: %v", err)
 		}
 		return false
 	}
 	return true
 }
 
-func graphToResponse(sg *StoredGraph) graphResponse {
-	g := sg.Graph
+func graphToResponse(sg *StoredGraph, v *Version) graphResponse {
+	g := v.Graph()
 	return graphResponse{
 		ID:          sg.ID,
-		Fingerprint: fmt.Sprintf("%016x", sg.Fingerprint),
+		Version:     v.ID,
+		Versions:    sg.VersionCount(),
+		Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
 		Desc:        sg.Desc,
 		N:           g.N,
 		M:           g.M(),
 		AvgDegree:   g.AvgDegree(),
 		MaxDegree:   g.MaxDegree(),
 	}
+}
+
+// runCacheKey builds the result-cache key. inputKey is the resolved
+// version ID for graph kernels (the lineage fingerprint makes per-version
+// results safe with zero invalidation), or the TSP parameter string.
+func runCacheKey(inputKey string, bench core.Benchmark, req *runRequest) string {
+	return fmt.Sprintf("run|%s|%s|%s|st=%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
+		inputKey, bench.Name, req.Platform, req.Strategy, req.Threads, req.Source,
+		req.Iters, req.MaxPasses, req.Delta, req.Target, req.SimCores, req.OutOfOrder)
 }
 
 // ---- handlers ----
@@ -171,7 +285,8 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case req.Format != "" && req.Kind != "":
-		writeError(w, http.StatusBadRequest, "specify either kind (generate) or format (upload), not both")
+		writeError(w, http.StatusBadRequest, codeConflictingInput,
+			"specify either kind (generate) or format (upload), not both")
 		return
 	case req.Format != "":
 		rd := strings.NewReader(req.Data)
@@ -183,11 +298,12 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		case "metis":
 			g, err = graph.ReadMETIS(rd)
 		default:
-			writeError(w, http.StatusBadRequest, "unknown format %q (want snap, mtx or metis)", req.Format)
+			writeError(w, http.StatusBadRequest, codeUnknownFormat,
+				"unknown format %q (want snap, mtx or metis)", req.Format)
 			return
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "parse %s input: %v", req.Format, err)
+			writeError(w, http.StatusBadRequest, codeParseFailed, "parse %s input: %v", req.Format, err)
 			return
 		}
 		desc = "uploaded:" + req.Format
@@ -200,42 +316,205 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !known {
-			writeError(w, http.StatusBadRequest, "unknown graph kind %q", req.Kind)
+			writeError(w, http.StatusBadRequest, codeUnknownKind, "unknown graph kind %q", req.Kind)
 			return
 		}
 		if req.N < 2 || req.N > s.cfg.MaxVertices {
-			writeError(w, http.StatusBadRequest, "n %d out of range [2, %d]", req.N, s.cfg.MaxVertices)
+			writeError(w, http.StatusBadRequest, codeNOutOfRange,
+				"n %d out of range [2, %d]", req.N, s.cfg.MaxVertices)
 			return
 		}
 		g = graph.Generate(graph.Kind(req.Kind), req.N, req.Seed)
 		desc = "generated:" + req.Kind
 	default:
-		writeError(w, http.StatusBadRequest, "specify kind (generate) or format (upload)")
+		writeError(w, http.StatusBadRequest, codeMissingInput,
+			"specify kind (generate) or format (upload)")
 		return
 	}
 	if g.N == 0 {
-		writeError(w, http.StatusBadRequest, "graph has no vertices")
+		writeError(w, http.StatusBadRequest, codeEmptyGraph, "graph has no vertices")
 		return
 	}
 	if g.N > s.cfg.MaxVertices {
-		writeError(w, http.StatusRequestEntityTooLarge, "graph has %d vertices, limit %d", g.N, s.cfg.MaxVertices)
+		writeError(w, http.StatusRequestEntityTooLarge, codeGraphTooLarge,
+			"graph has %d vertices, limit %d", g.N, s.cfg.MaxVertices)
 		return
 	}
 	sg, err := s.store.Put(g, desc)
 	if err != nil {
-		writeError(w, http.StatusInsufficientStorage, "%v (limit %d graphs)", err, s.cfg.MaxGraphs)
+		writeError(w, http.StatusInsufficientStorage, codeStoreFull,
+			"%v (limit %d versions)", err, s.cfg.MaxGraphs)
 		return
 	}
-	writeJSON(w, http.StatusCreated, graphToResponse(sg))
+	writeJSON(w, http.StatusCreated, graphToResponse(sg, sg.Head()))
 }
 
 func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
-	sg, ok := s.store.Get(r.PathValue("id"))
+	sg, v, ok := s.store.Resolve(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "graph %q not found", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, codeGraphNotFound,
+			"graph %q not found", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, graphToResponse(sg))
+	writeJSON(w, http.StatusOK, graphToResponse(sg, v))
+}
+
+// handleGraphList serves the paged graph listing. Paging is
+// offset/limit over the ID-sorted lineage list, so pages are stable
+// while the store is quiescent.
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, limit := 0, 50
+	if raw := q.Get("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, codeBadPage, "offset %q must be a non-negative integer", raw)
+			return
+		}
+		offset = n
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeBadPage, "limit %q must be a positive integer", raw)
+			return
+		}
+		limit = n
+	}
+	if limit > 500 {
+		limit = 500
+	}
+	all := s.store.List()
+	total := len(all)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	out := graphListResponse{
+		Graphs: make([]graphSummary, 0, end-offset),
+		Total:  total,
+		Offset: offset,
+		Limit:  limit,
+	}
+	for _, sg := range all[offset:end] {
+		versions := sg.Versions()
+		out.Graphs = append(out.Graphs, graphSummary{
+			ID:       sg.ID,
+			Desc:     sg.Desc,
+			N:        versions[0].Graph().N, // root is always materialized; N is version-invariant
+			Versions: len(versions),
+			Head:     versions[len(versions)-1].ID,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGraphVersions serves the lineage of one graph, root first.
+func (s *Server) handleGraphVersions(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeGraphNotFound,
+			"graph %q not found", r.PathValue("id"))
+		return
+	}
+	versions := sg.Versions()
+	out := versionsResponse{
+		Graph:    sg.ID,
+		Head:     versions[len(versions)-1].ID,
+		Versions: make([]versionInfo, len(versions)),
+	}
+	for i, v := range versions {
+		out.Versions[i] = versionInfo{
+			ID:          v.ID,
+			Parent:      v.Parent,
+			Ordinal:     v.Ordinal,
+			DeltaSize:   v.DeltaSize(),
+			Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePatch applies an edge insert/delete batch to a graph, producing
+// a new immutable version (copy-on-write: O(delta) stored, the flat CSR
+// is materialized lazily). The optional parent pin gives optimistic
+// concurrency: a patch pinned to a stale head 409s with version-conflict
+// unless it is an exact replay of an already-applied patch, which
+// returns the stored version (idempotent retries).
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req patchRequest
+	if !s.decode(w, r, &req) {
+		s.m.patches("invalid").Inc()
+		return
+	}
+	sg, ok := s.store.Get(id)
+	if !ok {
+		s.m.patches("not-found").Inc()
+		writeError(w, http.StatusNotFound, codeGraphNotFound, "graph %q not found", id)
+		return
+	}
+	if len(req.Inserts) == 0 && len(req.Deletes) == 0 {
+		s.m.patches("invalid").Inc()
+		writeError(w, http.StatusBadRequest, codeEmptyDelta,
+			"patch has no inserts and no deletes")
+		return
+	}
+	d := &graph.EdgeDelta{
+		Inserts: make([]graph.Edge, len(req.Inserts)),
+		Deletes: make([]graph.Edge, len(req.Deletes)),
+	}
+	for i, e := range req.Inserts {
+		d.Inserts[i] = graph.Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	for i, e := range req.Deletes {
+		d.Deletes[i] = graph.Edge{From: e.From, To: e.To}
+	}
+	n := sg.Versions()[0].Graph().N // N is version-invariant
+	if err := d.Canonicalize(n); err != nil {
+		s.m.patches("invalid").Inc()
+		writeError(w, http.StatusBadRequest, codeInvalidDelta, "%v", err)
+		return
+	}
+	v, replayed, found, err := s.store.Patch(id, d, req.Parent)
+	switch {
+	case !found:
+		s.m.patches("not-found").Inc()
+		writeError(w, http.StatusNotFound, codeGraphNotFound,
+			"parent version %q not found in graph %q", req.Parent, id)
+		return
+	case errors.Is(err, ErrVersionConflict):
+		s.m.patches("conflict").Inc()
+		writeError(w, http.StatusConflict, codeVersionConflict,
+			"parent %q is no longer the head of %q", req.Parent, id)
+		return
+	case errors.Is(err, ErrStoreFull):
+		s.m.patches("store-full").Inc()
+		writeError(w, http.StatusInsufficientStorage, codeStoreFull,
+			"%v (limit %d versions)", err, s.cfg.MaxGraphs)
+		return
+	case err != nil:
+		s.m.patches("error").Inc()
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
+	if replayed {
+		s.m.patches("replayed").Inc()
+	} else {
+		s.m.patches("applied").Inc()
+	}
+	writeJSON(w, http.StatusOK, patchResponse{
+		Graph:       sg.ID,
+		Version:     v.ID,
+		Parent:      v.Parent,
+		Ordinal:     v.Ordinal,
+		DeltaSize:   v.DeltaSize(),
+		Replayed:    replayed,
+		Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
+	})
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
@@ -270,21 +549,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	bench, err := core.ByName(req.Kernel)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeUnknownKernel, "%v", err)
 		return
 	}
 	if req.Platform == "" {
 		req.Platform = "native"
 	}
 	if req.Platform != "native" && req.Platform != "sim" {
-		writeError(w, http.StatusBadRequest, "unknown platform %q (want native or sim)", req.Platform)
+		writeError(w, http.StatusBadRequest, codeUnknownPlatform,
+			"unknown platform %q (want native or sim)", req.Platform)
 		return
 	}
 	if req.Strategy == "" {
 		req.Strategy = string(core.StrategyFrontier)
 	}
 	if !core.Strategy(req.Strategy).Valid() {
-		writeError(w, http.StatusBadRequest, "unknown strategy %q (want %q or %q)",
+		writeError(w, http.StatusBadRequest, codeUnknownStrategy,
+			"unknown strategy %q (want %q or %q)",
 			req.Strategy, core.StrategyScan, core.StrategyFrontier)
 		return
 	}
@@ -292,63 +573,73 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		req.Threads = 8
 	}
 	if req.Threads < 1 || req.Threads > s.cfg.MaxThreads {
-		writeError(w, http.StatusBadRequest, "threads %d out of range [1, %d]", req.Threads, s.cfg.MaxThreads)
+		writeError(w, http.StatusBadRequest, codeThreadsOutOfRange,
+			"threads %d out of range [1, %d]", req.Threads, s.cfg.MaxThreads)
 		return
 	}
 	if req.Iters < 0 || req.MaxPasses < 0 || req.Delta < 0 {
-		writeError(w, http.StatusBadRequest, "iters, maxPasses and delta must be >= 0 (0 = default)")
+		writeError(w, http.StatusBadRequest, codeBadParams,
+			"iters, maxPasses and delta must be >= 0 (0 = default)")
 		return
 	}
 	if req.SimCores == 0 {
 		req.SimCores = s.cfg.SimCores
 	}
 	if req.Platform == "sim" && req.Threads > req.SimCores {
-		writeError(w, http.StatusBadRequest, "threads %d exceed %d simulated cores", req.Threads, req.SimCores)
+		writeError(w, http.StatusBadRequest, codeSimThreadOverflow,
+			"threads %d exceed %d simulated cores", req.Threads, req.SimCores)
 		return
 	}
 
 	// Resolve the kernel input and the graph component of the cache key.
 	in := core.Input{Source: req.Source}
+	meta := runMeta{}
 	var inputKey string
 	switch {
 	case bench.UsesCities:
 		if req.Cities < 3 || req.Cities > 20 {
-			writeError(w, http.StatusBadRequest, "cities %d out of range [3, 20] for TSP", req.Cities)
+			writeError(w, http.StatusBadRequest, codeCitiesOutOfRange,
+				"cities %d out of range [3, 20] for TSP", req.Cities)
 			return
 		}
 		in.Cities = graph.Cities(req.Cities, req.Seed)
 		inputKey = fmt.Sprintf("tsp:n=%d:seed=%d", req.Cities, req.Seed)
 	default:
-		sg, ok := s.store.Get(req.Graph)
+		sg, ver, ok := s.store.Resolve(req.Graph)
 		if !ok {
-			writeError(w, http.StatusNotFound, "graph %q not found (POST /v1/graphs first)", req.Graph)
+			writeError(w, http.StatusNotFound, codeGraphNotFound,
+				"graph %q not found (POST /v1/graphs first)", req.Graph)
 			return
 		}
-		if req.Source < 0 || req.Source >= sg.Graph.N {
-			writeError(w, http.StatusBadRequest, "source %d out of range [0, %d)", req.Source, sg.Graph.N)
+		g := ver.Graph()
+		if req.Source < 0 || req.Source >= g.N {
+			writeError(w, http.StatusBadRequest, codeSourceOutOfRange,
+				"source %d out of range [0, %d)", req.Source, g.N)
 			return
 		}
-		if req.Target < 0 || req.Target >= sg.Graph.N {
-			writeError(w, http.StatusBadRequest, "target %d out of range [0, %d)", req.Target, sg.Graph.N)
+		if req.Target < 0 || req.Target >= g.N {
+			writeError(w, http.StatusBadRequest, codeTargetOutOfRange,
+				"target %d out of range [0, %d)", req.Target, g.N)
 			return
 		}
 		if bench.UsesMatrix {
-			if sg.Graph.N > s.cfg.MaxDenseVertices {
-				writeError(w, http.StatusUnprocessableEntity,
+			if g.N > s.cfg.MaxDenseVertices {
+				writeError(w, http.StatusUnprocessableEntity, codeDenseTooLarge,
 					"%s needs a dense O(N²) matrix; graph has %d vertices, limit %d",
-					bench.Name, sg.Graph.N, s.cfg.MaxDenseVertices)
+					bench.Name, g.N, s.cfg.MaxDenseVertices)
 				return
 			}
-			in.D = sg.Dense()
+			in.D = ver.Dense()
 		} else {
-			in.G = sg.Graph
+			in.G = g
 		}
-		inputKey = sg.ID
+		meta.graphID = sg.ID
+		meta.versionID = ver.ID
+		inputKey = ver.ID
+		meta.inc = s.incrementalSeed(bench, ver, g, &req)
 	}
 
-	key := fmt.Sprintf("run|%s|%s|%s|st=%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
-		inputKey, bench.Name, req.Platform, req.Strategy, req.Threads, req.Source,
-		req.Iters, req.MaxPasses, req.Delta, req.Target, req.SimCores, req.OutOfOrder)
+	key := runCacheKey(inputKey, bench, &req)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -361,28 +652,67 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	val, started, err := s.cache.Do(ctx, key, func() (any, error) {
-		return s.execute(ctx, bench, in, &req)
+		return s.execute(ctx, bench, in, &req, &meta)
 	})
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrSaturated):
 			s.m.shed.Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, "worker pool saturated, retry later")
+			writeSaturated(w, s.retryAfterSeconds())
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "run exceeded %s deadline", timeout)
+			writeError(w, http.StatusGatewayTimeout, codeDeadline,
+				"run exceeded %s deadline", timeout)
 		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "request canceled")
+			writeError(w, http.StatusServiceUnavailable, codeCanceled, "request canceled")
 		case errors.Is(err, ErrPoolClosed):
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server shutting down")
 		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		}
 		return
 	}
-	resp := *val.(*runResponse) // copy so Cached can differ per caller
+	resp := *val.(*cachedRun).resp // copy so Cached can differ per caller
 	resp.Cached = !started
 	writeJSON(w, http.StatusOK, &resp)
+}
+
+// incrementalSeed decides whether this run can repair the parent
+// version's result instead of recomputing, and if so returns the seed.
+// The conditions: the version has a parent, the strategy is frontier
+// (incremental kernels extend the frontier choreography; scan stays
+// paper-faithful full recompute), the kernel+delta shape passes
+// core.IncrementalOK, and the parent's result — same kernel, same
+// parameters, parent version ID — is still in the cache.
+func (s *Server) incrementalSeed(bench core.Benchmark, ver *Version, g *graph.CSR, req *runRequest) *incrementalSeed {
+	if ver.Ordinal == 0 || req.Strategy != string(core.StrategyFrontier) {
+		return nil
+	}
+	if !core.IncrementalOK(bench.Name, len(ver.Delta.Inserts), len(ver.Delta.Deletes), g.M()) {
+		return nil
+	}
+	pv, ok := s.cache.Peek(runCacheKey(ver.Parent, bench, req))
+	if !ok {
+		return nil
+	}
+	pc, ok := pv.(*cachedRun)
+	if !ok {
+		return nil
+	}
+	switch bench.Name {
+	case "BFS":
+		if pc.level != nil {
+			return &incrementalSeed{delta: ver.Delta, level: pc.level}
+		}
+	case "CONN_COMP":
+		if pc.labels != nil {
+			return &incrementalSeed{delta: ver.Delta, labels: pc.labels}
+		}
+	case "COMM":
+		if pc.comm != nil {
+			return &incrementalSeed{delta: ver.Delta, comm: pc.comm}
+		}
+	}
+	return nil
 }
 
 // errReason maps a run failure to the crono_run_errors_total reason label.
@@ -397,10 +727,50 @@ func errReason(err error) string {
 	}
 }
 
+// runIncremental dispatches to the kernel's incremental repair. A nil
+// result with nil error means "no incremental form after all" — the
+// caller falls back to the full kernel.
+func runIncremental(ctx context.Context, pl exec.Platform, bench core.Benchmark, creq core.Request, inc *incrementalSeed) (*core.Result, error) {
+	var (
+		res *core.Result
+		err error
+	)
+	switch bench.Name {
+	case "BFS":
+		var r *core.BFSResult
+		r, err = core.BFSIncremental(ctx, pl, creq.G, creq.Source, creq.Threads, inc.level, inc.delta)
+		if r != nil {
+			res = &core.Result{Report: r.Report, BFS: r}
+		}
+	case "CONN_COMP":
+		var r *core.ComponentsResult
+		r, err = core.ComponentsIncremental(ctx, pl, creq.G, creq.Threads, inc.labels, inc.delta)
+		if r != nil {
+			res = &core.Result{Report: r.Report, Components: r}
+		}
+	case "COMM":
+		maxPasses := creq.MaxPasses
+		if maxPasses < 1 {
+			maxPasses = core.DefaultCommunityPasses
+		}
+		var r *core.CommunityResult
+		r, err = core.CommunityIncremental(ctx, pl, creq.G, creq.Threads, maxPasses, inc.comm, inc.delta)
+		if r != nil {
+			res = &core.Result{Report: r.Report, Community: r}
+		}
+	default:
+		return nil, nil
+	}
+	if errors.Is(err, core.ErrNoIncremental) {
+		return nil, nil
+	}
+	return res, err
+}
+
 // execute builds the platform, runs the kernel on the worker pool and
 // shapes the response. It is called exactly once per cache key by
 // Cache.Do; concurrent identical requests coalesce onto its result.
-func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Input, req *runRequest) (any, error) {
+func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Input, req *runRequest, meta *runMeta) (any, error) {
 	var pl exec.Platform
 	switch req.Platform {
 	case "native":
@@ -428,10 +798,11 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 		Target:    req.Target,
 	}
 	var (
-		res    *core.Result
-		runErr error
-		wall   time.Duration
-		done   = make(chan struct{})
+		res         *core.Result
+		runErr      error
+		incremental bool
+		wall        time.Duration
+		done        = make(chan struct{})
 	)
 	if err := s.pool.Submit(ctx, func() {
 		defer close(done)
@@ -442,7 +813,13 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 		// canceled or deadlined request aborts the run within one kernel
 		// round, freeing this worker slot long before the kernel would
 		// have completed.
-		res, runErr = bench.Run(ctx, pl, creq)
+		if meta.inc != nil {
+			res, runErr = runIncremental(ctx, pl, bench, creq, meta.inc)
+			incremental = res != nil && runErr == nil
+		}
+		if res == nil && runErr == nil {
+			res, runErr = bench.Run(ctx, pl, creq)
+		}
 		wall = time.Since(start)
 	}); err != nil {
 		return nil, err
@@ -462,11 +839,17 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 	rep := res.Report
 	s.m.runs(bench.Name).Inc()
 	s.m.latency(bench.Name, req.Platform).Observe(wall.Seconds())
+	if incremental {
+		s.m.incremental(bench.Name).Inc()
+	}
 
 	resp := &runResponse{
 		Kernel:            bench.Name,
 		Platform:          rep.Platform,
 		Threads:           rep.Threads,
+		Graph:             meta.graphID,
+		GraphVersion:      meta.versionID,
+		Incremental:       incremental,
 		TimeUnit:          "ns",
 		Time:              rep.Time,
 		TotalInstructions: rep.TotalInstructions(),
@@ -490,5 +873,14 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 			NetworkFlitHops:      rep.NetworkFlitHops,
 		}
 	}
-	return resp, nil
+	cr := &cachedRun{resp: resp}
+	switch {
+	case res.BFS != nil:
+		cr.level = res.BFS.Level
+	case res.Components != nil:
+		cr.labels = res.Components.Labels
+	case res.Community != nil:
+		cr.comm = res.Community.Community
+	}
+	return cr, nil
 }

@@ -113,15 +113,17 @@ func (c *Config) sanitize() {
 
 // serverMetrics bundles every registered instrument.
 type serverMetrics struct {
-	reg       *Registry
-	requests  func(path string, code int) *Counter
-	shed      *Counter
-	runs      func(kernel string) *Counter
-	runErrors func(kernel, reason string) *Counter
-	latency   func(kernel, platform string) *Histogram
-	cacheHit  *Counter
-	cacheMiss *Counter
-	coalesced *Counter
+	reg         *Registry
+	requests    func(path string, code int) *Counter
+	shed        *Counter
+	runs        func(kernel string) *Counter
+	runErrors   func(kernel, reason string) *Counter
+	latency     func(kernel, platform string) *Histogram
+	patches     func(result string) *Counter
+	incremental func(kernel string) *Counter
+	cacheHit    *Counter
+	cacheMiss   *Counter
+	coalesced   *Counter
 }
 
 // Server is the graph-analytics service. Build one with New, mount
@@ -183,6 +185,18 @@ func (s *Server) newMetrics() *serverMetrics {
 			DefaultLatencyBuckets,
 			Label{"kernel", kernel}, Label{"platform", platform})
 	}
+	m.patches = func(result string) *Counter {
+		return reg.Counter("crono_patch_requests_total",
+			"Graph mutation requests by outcome (applied, replayed, conflict, "+
+				"invalid, not-found, store-full or error).",
+			Label{"result", result})
+	}
+	m.incremental = func(kernel string) *Counter {
+		return reg.Counter("crono_incremental_runs_total",
+			"Kernel executions repaired incrementally from the parent "+
+				"version's cached result instead of recomputed from scratch.",
+			Label{"kernel", kernel})
+	}
 	m.cacheHit = reg.Counter("crono_cache_hits_total",
 		"Run requests served from the result cache.")
 	m.cacheMiss = reg.Counter("crono_cache_misses_total",
@@ -193,8 +207,11 @@ func (s *Server) newMetrics() *serverMetrics {
 		"Kernel tasks queued or running in the worker pool.",
 		func() float64 { return float64(s.pool.Depth()) })
 	reg.GaugeFunc("crono_graphs_resident",
-		"Graphs resident in the store.",
+		"Graph lineages resident in the store.",
 		func() float64 { return float64(s.store.Len()) })
+	reg.GaugeFunc("crono_graph_versions",
+		"Graph versions resident across all lineages (what MaxGraphs bounds).",
+		func() float64 { return float64(s.store.VersionTotal()) })
 	reg.GaugeFunc("crono_cache_entries",
 		"Completed results resident in the LRU cache.",
 		func() float64 { return float64(s.cache.Len()) })
@@ -222,7 +239,10 @@ func (s *Server) routes() {
 		s.mux.Handle(pattern, s.instrument(route, h))
 	}
 	handle("POST /v1/graphs", "/v1/graphs", s.handleGraphCreate)
+	handle("GET /v1/graphs", "/v1/graphs", s.handleGraphList)
 	handle("GET /v1/graphs/{id}", "/v1/graphs/{id}", s.handleGraphGet)
+	handle("PATCH /v1/graphs/{id}", "/v1/graphs/{id}:patch", s.handlePatch)
+	handle("GET /v1/graphs/{id}/versions", "/v1/graphs/{id}/versions", s.handleGraphVersions)
 	handle("POST /v1/run", "/v1/run", s.handleRun)
 	handle("GET /v1/kernels", "/v1/kernels", s.handleKernels)
 	handle("GET /healthz", "/healthz", s.handleHealthz)

@@ -3,43 +3,131 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"crono/internal/graph"
 )
 
-// ErrStoreFull is returned by Store.Put when the graph budget is exhausted.
+// ErrStoreFull is returned by Store.Put and Store.Patch when the version
+// budget is exhausted. Every version — roots included — counts against
+// MaxGraphs, so a mutation-heavy workload cannot grow memory unboundedly
+// by patching a single graph.
 var ErrStoreFull = errors.New("service: graph store full")
 
-// storeShards is the shard count of the graph store. Sharding keeps Put
-// and Get contention-free across concurrent loads: IDs are content hashes,
-// so they spread uniformly.
+// ErrVersionConflict is returned by Store.Patch when the request pins a
+// parent version that is no longer the lineage head (and the patch is
+// not a replay of an already-applied one): optimistic concurrency
+// control for concurrent mutators.
+var ErrVersionConflict = errors.New("service: parent is not the current head")
+
+// storeShards is the shard count of the graph and version indexes.
+// Sharding keeps Put and Get contention-free across concurrent loads:
+// IDs are content hashes, so they spread uniformly.
 const storeShards = 16
 
-// StoredGraph is one resident graph plus its lazily derived forms.
-type StoredGraph struct {
-	// ID is the content-addressed identifier: "g" + 16 hex digits of the
-	// CSR fingerprint. Loading the same logical graph twice yields the
-	// same ID (the store deduplicates).
+// Version is one immutable graph version in a lineage: the root carries
+// the full CSR, every child carries only its delta (copy-on-write — the
+// O(delta) storage discipline of journal/snapshot state stores). The
+// flat CSR and dense forms are derived on first use and memoized.
+type Version struct {
+	// ID is the lineage-addressed identifier: "v" + 16 hex digits of
+	// Fingerprint.
 	ID string
-	// Desc records provenance, e.g. "generated:sparse" or "uploaded:snap".
-	Desc string
-	// Graph is the CSR form every sparse kernel consumes.
-	Graph *graph.CSR
-	// Fingerprint is Graph.Fingerprint(), the service cache-key component.
+	// GraphID names the owning lineage.
+	GraphID string
+	// Ordinal is the position in the lineage chain (0 = root).
+	Ordinal int
+	// Parent is the parent version ID, "" for the root.
+	Parent string
+	// Fingerprint is the lineage fingerprint: the root's is the CSR
+	// content fingerprint; a child's is LineageFingerprint(parent, delta).
+	// Equal fingerprints mean same root content mutated by the same
+	// patch sequence, which is what lets cached per-version results stay
+	// correct with zero invalidation scans.
 	Fingerprint uint64
+	// Delta is the canonical edge delta from Parent (nil for the root).
+	Delta *graph.EdgeDelta
 
+	parent    *Version   // resident parent, nil for the root
+	root      *graph.CSR // non-nil only for the root
+	csrOnce   sync.Once
+	csr       *graph.CSR
 	denseOnce sync.Once
 	dense     *graph.Dense
 }
 
+// DeltaSize is the number of mutations from the parent (0 for the root).
+func (v *Version) DeltaSize() int {
+	if v.Delta == nil {
+		return 0
+	}
+	return v.Delta.Size()
+}
+
+// Graph returns the materialized CSR of this version, derived on first
+// use by replaying the delta chain onto the root and memoized per
+// version. Concurrent callers share one materialization.
+func (v *Version) Graph() *graph.CSR {
+	v.csrOnce.Do(func() {
+		if v.root != nil {
+			v.csr = v.root
+			return
+		}
+		v.csr = graph.ApplyDelta(v.parent.Graph(), v.Delta)
+	})
+	return v.csr
+}
+
 // Dense returns the adjacency-matrix form (APSP/BETW_CENT input), derived
-// on first use and memoized. Callers must gate on vertex count: the matrix
-// is O(N²).
-func (sg *StoredGraph) Dense() *graph.Dense {
-	sg.denseOnce.Do(func() { sg.dense = graph.DenseFromCSR(sg.Graph) })
-	return sg.dense
+// on first use and memoized. Callers must gate on vertex count: the
+// matrix is O(N²).
+func (v *Version) Dense() *graph.Dense {
+	v.denseOnce.Do(func() { v.dense = graph.DenseFromCSR(v.Graph()) })
+	return v.dense
+}
+
+// StoredGraph is one resident lineage: a chain of immutable versions
+// rooted at the uploaded or generated CSR. The graph ID stays the root's
+// content address for the lineage's whole life; mutation advances the
+// head version, never the ID.
+type StoredGraph struct {
+	// ID is the content-addressed identifier: "g" + 16 hex digits of the
+	// root CSR fingerprint. Loading the same logical graph twice yields
+	// the same ID (the store deduplicates).
+	ID string
+	// Desc records provenance, e.g. "generated:sparse" or "uploaded:snap".
+	Desc string
+
+	// mu guards versions. Writers (Store.Patch) hold it exclusively,
+	// which serializes mutation per lineage; unpinned concurrent patches
+	// land in a deterministic chain, pinned ones conflict.
+	mu       sync.RWMutex
+	versions []*Version
+}
+
+// Head returns the current head version of the lineage.
+func (sg *StoredGraph) Head() *Version {
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return sg.versions[len(sg.versions)-1]
+}
+
+// Versions returns the lineage chain, root first.
+func (sg *StoredGraph) Versions() []*Version {
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	out := make([]*Version, len(sg.versions))
+	copy(out, sg.versions)
+	return out
+}
+
+// VersionCount returns the number of versions in the lineage.
+func (sg *StoredGraph) VersionCount() int {
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return len(sg.versions)
 }
 
 type storeShard struct {
@@ -47,41 +135,72 @@ type storeShard struct {
 	graphs map[string]*StoredGraph
 }
 
-// Store is a sharded in-memory graph store addressed by content
-// fingerprint.
-type Store struct {
-	maxGraphs int
-	count     atomic.Int64
-	shards    [storeShards]storeShard
+// versionShard is a separate lock family from storeShard: Put nests
+// graph-shard → version-shard, and nothing ever nests the other way, so
+// the two-level hierarchy is deadlock-free by construction.
+type versionShard struct {
+	mu       sync.RWMutex
+	versions map[string]*Version
 }
 
-// NewStore returns a store admitting at most maxGraphs distinct graphs
-// (<=0 means 64).
+// Store is a sharded in-memory store of graph lineages, addressed by
+// content fingerprint ("g…" graph IDs resolve to the lineage head,
+// "v…" version IDs pin an exact version).
+type Store struct {
+	maxVersions int
+	count       atomic.Int64 // total versions across all lineages
+	graphCount  atomic.Int64
+	shards      [storeShards]storeShard
+	vshards     [storeShards]versionShard
+}
+
+// NewStore returns a store admitting at most maxGraphs versions in total
+// (<=0 means 64). Roots and patched versions draw from one budget, so
+// "graphs plus mutations" is what MaxGraphs bounds.
 func NewStore(maxGraphs int) *Store {
 	if maxGraphs <= 0 {
 		maxGraphs = 64
 	}
-	s := &Store{maxGraphs: maxGraphs}
+	s := &Store{maxVersions: maxGraphs}
 	for i := range s.shards {
 		s.shards[i].graphs = make(map[string]*StoredGraph)
+		s.vshards[i].versions = make(map[string]*Version)
 	}
 	return s
 }
 
-// GraphID renders the content-addressed ID for a fingerprint.
+// GraphID renders the content-addressed graph ID for a fingerprint.
 func GraphID(fp uint64) string { return fmt.Sprintf("g%016x", fp) }
 
-func (s *Store) shard(id string) *storeShard {
+// VersionID renders the lineage-addressed version ID for a fingerprint.
+func VersionID(fp uint64) string { return fmt.Sprintf("v%016x", fp) }
+
+func shardIndex(id string) uint32 {
 	var h uint32
 	for i := 0; i < len(id); i++ {
 		h = h*31 + uint32(id[i])
 	}
-	return &s.shards[h%storeShards]
+	return h % storeShards
 }
 
-// Put stores g under its fingerprint ID and returns the resident entry.
-// Storing an already-present graph is a no-op returning the existing
-// entry, so repeated uploads of one graph cost one copy.
+func (s *Store) shard(id string) *storeShard    { return &s.shards[shardIndex(id)] }
+func (s *Store) vshard(id string) *versionShard { return &s.vshards[shardIndex(id)] }
+
+// reserve claims one slot of the version budget, or fails with
+// ErrStoreFull. The atomic claim-then-rollback keeps the budget exact
+// under concurrent Put/Patch across shards.
+func (s *Store) reserve() error {
+	if s.count.Add(1) > int64(s.maxVersions) {
+		s.count.Add(-1)
+		return ErrStoreFull
+	}
+	return nil
+}
+
+// Put stores g as a new lineage rooted at its fingerprint ID and returns
+// the resident entry. Storing an already-present graph is a no-op
+// returning the existing lineage (whose head may have advanced past the
+// uploaded content), so repeated uploads of one graph cost one copy.
 func (s *Store) Put(g *graph.CSR, desc string) (*StoredGraph, error) {
 	fp := g.Fingerprint()
 	id := GraphID(fp)
@@ -91,16 +210,87 @@ func (s *Store) Put(g *graph.CSR, desc string) (*StoredGraph, error) {
 	if existing, ok := sh.graphs[id]; ok {
 		return existing, nil
 	}
-	if s.count.Load() >= int64(s.maxGraphs) {
-		return nil, ErrStoreFull
+	if err := s.reserve(); err != nil {
+		return nil, err
 	}
-	sg := &StoredGraph{ID: id, Desc: desc, Graph: g, Fingerprint: fp}
+	sg := &StoredGraph{ID: id, Desc: desc}
+	root := &Version{
+		ID:          VersionID(fp),
+		GraphID:     id,
+		Fingerprint: fp,
+		root:        g,
+	}
+	sg.versions = []*Version{root}
+	// Publish the root version before the graph: anyone who can see the
+	// lineage can resolve its head version ID.
+	s.putVersion(root)
 	sh.graphs[id] = sg
-	s.count.Add(1)
+	s.graphCount.Add(1)
 	return sg, nil
 }
 
-// Get returns the graph stored under id.
+func (s *Store) putVersion(v *Version) {
+	sh := s.vshard(v.ID)
+	sh.mu.Lock()
+	sh.versions[v.ID] = v
+	sh.mu.Unlock()
+}
+
+// Patch applies a canonical delta to the lineage named by graph ID.
+// parent optionally pins the expected head version ID: "" means "apply
+// to whatever the head is". Patches on one lineage are serialized, so
+// concurrent unpinned patches land in a deterministic chain; a pinned
+// patch whose parent is no longer the head either replays (the same
+// delta was already applied to that parent — same child fingerprint, so
+// the stored version is returned with replayed=true) or fails with
+// ErrVersionConflict. A pinned parent that names no version of this
+// lineage reports ok=false, like an unknown graph ID.
+func (s *Store) Patch(graphID string, d *graph.EdgeDelta, parent string) (v *Version, replayed bool, ok bool, err error) {
+	sg, found := s.Get(graphID)
+	if !found {
+		return nil, false, false, nil
+	}
+	dfp := d.Fingerprint()
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	head := sg.versions[len(sg.versions)-1]
+	if parent != "" && parent != head.ID {
+		// Not the head: either a retry of an already-applied patch
+		// (idempotent replay) or a genuine conflict.
+		for _, pv := range sg.versions {
+			if pv.ID != parent {
+				continue
+			}
+			childID := VersionID(graph.LineageFingerprint(pv.Fingerprint, dfp))
+			for _, cv := range sg.versions {
+				if cv.ID == childID && cv.Parent == parent {
+					return cv, true, true, nil
+				}
+			}
+			return nil, false, true, ErrVersionConflict
+		}
+		return nil, false, false, nil
+	}
+	childFp := graph.LineageFingerprint(head.Fingerprint, dfp)
+	childID := VersionID(childFp)
+	if err := s.reserve(); err != nil {
+		return nil, false, true, err
+	}
+	child := &Version{
+		ID:          childID,
+		GraphID:     sg.ID,
+		Ordinal:     head.Ordinal + 1,
+		Parent:      head.ID,
+		Fingerprint: childFp,
+		Delta:       d,
+		parent:      head,
+	}
+	sg.versions = append(sg.versions, child)
+	s.putVersion(child)
+	return child, false, true, nil
+}
+
+// Get returns the lineage stored under a graph ID.
 func (s *Store) Get(id string) (*StoredGraph, bool) {
 	sh := s.shard(id)
 	sh.mu.RLock()
@@ -109,5 +299,51 @@ func (s *Store) Get(id string) (*StoredGraph, bool) {
 	return sg, ok
 }
 
-// Len returns the number of resident graphs.
-func (s *Store) Len() int { return int(s.count.Load()) }
+// GetVersion returns the version stored under a version ID.
+func (s *Store) GetVersion(id string) (*Version, bool) {
+	sh := s.vshard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.versions[id]
+	return v, ok
+}
+
+// Resolve maps a reference — graph ID ("g…", resolving to the lineage
+// head) or version ID ("v…", pinning an exact version) — to the lineage
+// and version it names.
+func (s *Store) Resolve(ref string) (*StoredGraph, *Version, bool) {
+	if sg, ok := s.Get(ref); ok {
+		return sg, sg.Head(), true
+	}
+	if v, ok := s.GetVersion(ref); ok {
+		sg, ok := s.Get(v.GraphID)
+		if !ok {
+			return nil, nil, false
+		}
+		return sg, v, true
+	}
+	return nil, nil, false
+}
+
+// List returns all resident lineages sorted by ID (a stable order for
+// paged listings).
+func (s *Store) List() []*StoredGraph {
+	out := make([]*StoredGraph, 0, s.graphCount.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, sg := range sh.graphs {
+			out = append(out, sg)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of resident lineages (graphs, not versions).
+func (s *Store) Len() int { return int(s.graphCount.Load()) }
+
+// VersionTotal returns the number of resident versions across all
+// lineages — the quantity the MaxGraphs budget bounds.
+func (s *Store) VersionTotal() int { return int(s.count.Load()) }

@@ -1,0 +1,590 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"crono/internal/core"
+)
+
+func patchJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PATCH %s: %v", url, err)
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if v != nil {
+		decodeBody(t, resp, v)
+	}
+	return resp
+}
+
+// errorCode decodes the structured envelope and returns its code.
+func errorCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var e errorResponse
+	decodeBody(t, resp, &e)
+	if e.Error.Code == "" {
+		t.Fatalf("status %d carried no structured error code", resp.StatusCode)
+	}
+	return e.Error.Code
+}
+
+func TestPatchLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "sparse", 256, 1)
+	if gr.Versions != 1 || !strings.HasPrefix(gr.Version, "v") {
+		t.Fatalf("fresh graph: %+v", gr)
+	}
+	root := gr.Version
+
+	// Apply a mixed batch.
+	resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 0, To: 100, Weight: 3}, {From: 100, To: 0, Weight: 3}},
+		Deletes: []edgeSpec{{From: 250, To: 251}}, // absent is a documented no-op
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: status %d", resp.StatusCode)
+	}
+	var pr patchResponse
+	decodeBody(t, resp, &pr)
+	if pr.Ordinal != 1 || pr.Parent != root || pr.Version == root || pr.DeltaSize != 3 {
+		t.Fatalf("patch response: %+v", pr)
+	}
+
+	// The graph ID now resolves to the new head.
+	var head graphResponse
+	getJSON(t, ts.URL+"/v1/graphs/"+gr.ID, &head)
+	if head.Version != pr.Version || head.Versions != 2 {
+		t.Fatalf("head after patch: %+v", head)
+	}
+	if head.M != gr.M+2 {
+		t.Fatalf("head m = %d, want %d (+2 inserts, no-op delete)", head.M, gr.M+2)
+	}
+
+	// The root version ID still pins the unmutated content.
+	var pinned graphResponse
+	getJSON(t, ts.URL+"/v1/graphs/"+root, &pinned)
+	if pinned.Version != root || pinned.M != gr.M {
+		t.Fatalf("pinned root: %+v, want version %s with m=%d", pinned, root, gr.M)
+	}
+
+	// Lineage listing, root first.
+	var vl versionsResponse
+	getJSON(t, ts.URL+"/v1/graphs/"+gr.ID+"/versions", &vl)
+	if vl.Head != pr.Version || len(vl.Versions) != 2 {
+		t.Fatalf("versions: %+v", vl)
+	}
+	if vl.Versions[0].ID != root || vl.Versions[0].Ordinal != 0 || vl.Versions[0].DeltaSize != 0 {
+		t.Fatalf("root entry: %+v", vl.Versions[0])
+	}
+	if vl.Versions[1].ID != pr.Version || vl.Versions[1].Parent != root || vl.Versions[1].DeltaSize != 3 {
+		t.Fatalf("child entry: %+v", vl.Versions[1])
+	}
+
+	// Retrying the identical patch pinned to the (now stale) root replays
+	// idempotently instead of conflicting.
+	resp = patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 0, To: 100, Weight: 3}, {From: 100, To: 0, Weight: 3}},
+		Deletes: []edgeSpec{{From: 250, To: 251}},
+		Parent:  root,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d", resp.StatusCode)
+	}
+	var replay patchResponse
+	decodeBody(t, resp, &replay)
+	if !replay.Replayed || replay.Version != pr.Version {
+		t.Fatalf("replay response: %+v, want replayed %s", replay, pr.Version)
+	}
+
+	// A different patch pinned to the stale root is a genuine conflict.
+	resp = patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 1, To: 2, Weight: 9}},
+		Parent:  root,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale pin: status %d, want 409", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != codeVersionConflict {
+		t.Fatalf("stale pin code %q, want %q", code, codeVersionConflict)
+	}
+
+	m := fetchMetrics(t, ts.URL)
+	if v := metricValue(t, m, `crono_patch_requests_total{result="applied"}`); v != 1 {
+		t.Fatalf("applied counter = %v, want 1", v)
+	}
+	if v := metricValue(t, m, `crono_patch_requests_total{result="replayed"}`); v != 1 {
+		t.Fatalf("replayed counter = %v, want 1", v)
+	}
+	if v := metricValue(t, m, `crono_patch_requests_total{result="conflict"}`); v != 1 {
+		t.Fatalf("conflict counter = %v, want 1", v)
+	}
+	if v := metricValue(t, m, `crono_graph_versions`); v != 2 {
+		t.Fatalf("crono_graph_versions = %v, want 2", v)
+	}
+}
+
+func TestGraphListPaging(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	ids := make(map[string]bool)
+	for seed := int64(1); seed <= 3; seed++ {
+		ids[createGraph(t, ts.URL, "sparse", 128, seed).ID] = true
+	}
+
+	var page graphListResponse
+	getJSON(t, ts.URL+"/v1/graphs?limit=2", &page)
+	if page.Total != 3 || len(page.Graphs) != 2 || page.Offset != 0 {
+		t.Fatalf("first page: %+v", page)
+	}
+	var rest graphListResponse
+	getJSON(t, ts.URL+"/v1/graphs?offset=2&limit=2", &rest)
+	if rest.Total != 3 || len(rest.Graphs) != 1 {
+		t.Fatalf("second page: %+v", rest)
+	}
+	// Pages are disjoint and ID-ordered; together they cover the store.
+	seen := make(map[string]bool)
+	last := ""
+	for _, g := range append(page.Graphs, rest.Graphs...) {
+		if g.ID <= last {
+			t.Fatalf("listing not ID-ordered: %q after %q", g.ID, last)
+		}
+		last = g.ID
+		seen[g.ID] = true
+		if !ids[g.ID] {
+			t.Fatalf("listed unknown graph %q", g.ID)
+		}
+		if g.N != 128 || g.Versions != 1 || !strings.HasPrefix(g.Head, "v") {
+			t.Fatalf("summary: %+v", g)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("pages covered %d graphs, want 3", len(seen))
+	}
+
+	resp := getJSON(t, ts.URL+"/v1/graphs?offset=nope", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad offset: status %d", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != codeBadPage {
+		t.Fatalf("bad offset code %q, want %q", code, codeBadPage)
+	}
+}
+
+// TestRunCacheVersioned is the zero-staleness contract: a cached result
+// is never served for a different version than the one the response
+// names. Mutating a graph must trigger fresh computation for the new
+// head while the old version's result stays servable under its pin.
+func TestRunCacheVersioned(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "sparse", 512, 1)
+
+	run := func(ref string) runResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/run", runRequest{Graph: ref, Kernel: "PageRank", Threads: 2, Iters: 3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %s: status %d", ref, resp.StatusCode)
+		}
+		var rr runResponse
+		decodeBody(t, resp, &rr)
+		return rr
+	}
+
+	a := run(gr.ID)
+	if a.Cached || a.GraphVersion != gr.Version || a.Graph != gr.ID {
+		t.Fatalf("first run: %+v, want fresh on %s", a, gr.Version)
+	}
+	if b := run(gr.ID); !b.Cached || b.GraphVersion != gr.Version {
+		t.Fatalf("rerun: %+v, want cached on %s", b, gr.Version)
+	}
+
+	resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 0, To: 1, Weight: 1}, {From: 1, To: 0, Weight: 1}},
+	})
+	var pr patchResponse
+	decodeBody(t, resp, &pr)
+
+	// The graph ID now names the child: a cached parent result must not
+	// be served.
+	c := run(gr.ID)
+	if c.Cached || c.GraphVersion != pr.Version {
+		t.Fatalf("post-patch run: %+v, want fresh on %s", c, pr.Version)
+	}
+	// The parent pin still hits its own cache entry.
+	if d := run(gr.Version); !d.Cached || d.GraphVersion != gr.Version {
+		t.Fatalf("pinned parent run: %+v, want cached on %s", d, gr.Version)
+	}
+	// And the child is cached under its version now.
+	if e := run(pr.Version); !e.Cached || e.GraphVersion != pr.Version {
+		t.Fatalf("pinned child run: %+v, want cached on %s", e, pr.Version)
+	}
+}
+
+// TestConcurrentPatches races mutators on one lineage. Pinned to the
+// same parent with different deltas, exactly one lands and the other
+// 409s; unpinned, both land in a serialized chain.
+func TestConcurrentPatches(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "sparse", 256, 1)
+
+	type outcome struct {
+		status int
+		code   string
+	}
+	results := make([]outcome, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+				Inserts: []edgeSpec{{From: int32(i), To: int32(i + 10), Weight: 1}},
+				Parent:  gr.Version,
+			})
+			results[i].status = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				resp.Body.Close()
+			} else {
+				var e errorResponse
+				decodeBody(t, resp, &e)
+				results[i].code = e.Error.Code
+			}
+		}()
+	}
+	wg.Wait()
+	wins, conflicts := 0, 0
+	for _, r := range results {
+		switch {
+		case r.status == http.StatusOK:
+			wins++
+		case r.status == http.StatusConflict && r.code == codeVersionConflict:
+			conflicts++
+		default:
+			t.Fatalf("unexpected outcome %+v", r)
+		}
+	}
+	if wins != 1 || conflicts != 1 {
+		t.Fatalf("pinned race: %d wins, %d conflicts, want 1/1", wins, conflicts)
+	}
+
+	// Unpinned patches serialize: both land, chain grows to 4.
+	wg = sync.WaitGroup{}
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+				Inserts: []edgeSpec{{From: int32(20 + i), To: int32(30 + i), Weight: 1}},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("unpinned patch %d: status %d", i, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	var vl versionsResponse
+	getJSON(t, ts.URL+"/v1/graphs/"+gr.ID+"/versions", &vl)
+	if len(vl.Versions) != 4 {
+		t.Fatalf("lineage has %d versions, want 4 (root + pinned win + 2 unpinned)", len(vl.Versions))
+	}
+	for i, v := range vl.Versions {
+		if v.Ordinal != i {
+			t.Fatalf("version %d has ordinal %d", i, v.Ordinal)
+		}
+		if i > 0 && v.Parent != vl.Versions[i-1].ID {
+			t.Fatalf("version %d parent %s, want %s", i, v.Parent, vl.Versions[i-1].ID)
+		}
+	}
+}
+
+// TestVersionsCountAgainstMaxGraphs pins the budget semantics: every
+// version — roots and patches alike — draws from MaxGraphs.
+func TestVersionsCountAgainstMaxGraphs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxGraphs = 3
+	_, ts := newTestServer(t, cfg)
+	gr := createGraph(t, ts.URL, "sparse", 64, 1)
+
+	for i := 0; i < 2; i++ {
+		resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+			Inserts: []edgeSpec{{From: int32(i), To: int32(i + 20), Weight: 1}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("patch %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Budget exhausted: both further mutation and new graphs refuse.
+	resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 40, To: 41, Weight: 1}},
+	})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("patch over budget: status %d, want 507", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != codeStoreFull {
+		t.Fatalf("patch over budget code %q, want %q", code, codeStoreFull)
+	}
+	resp = postJSON(t, ts.URL+"/v1/graphs", graphRequest{Kind: "sparse", N: 64, Seed: 99})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("create over budget: status %d, want 507", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != codeStoreFull {
+		t.Fatalf("create over budget code %q, want %q", code, codeStoreFull)
+	}
+}
+
+// TestIncrementalRunThroughAPI drives the seeded-repair path end to end:
+// a frontier BFS on a freshly patched head whose parent result is cached
+// reports incremental=true, and a kernel/delta shape with no incremental
+// form falls back to full recompute with incremental=false.
+func TestIncrementalRunThroughAPI(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	gr := createGraph(t, ts.URL, "road-ca", 4096, 1)
+
+	run := func(ref, kernel string) runResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/run", runRequest{Graph: ref, Kernel: kernel, Threads: 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %s/%s: status %d", ref, kernel, resp.StatusCode)
+		}
+		var rr runResponse
+		decodeBody(t, resp, &rr)
+		return rr
+	}
+
+	// Warm the parent's BFS and CONN_COMP entries.
+	if a := run(gr.ID, "BFS"); a.Incremental {
+		t.Fatalf("root run cannot be incremental: %+v", a)
+	}
+	run(gr.ID, "CONN_COMP")
+
+	// Small insert-only delta: both kernels repair incrementally.
+	resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 5, To: 900, Weight: 1}, {From: 900, To: 5, Weight: 1}},
+	})
+	var pr patchResponse
+	decodeBody(t, resp, &pr)
+
+	b := run(gr.ID, "BFS")
+	if !b.Incremental || b.Cached || b.GraphVersion != pr.Version {
+		t.Fatalf("patched BFS: %+v, want fresh incremental on %s", b, pr.Version)
+	}
+	if c := run(gr.ID, "CONN_COMP"); !c.Incremental {
+		t.Fatalf("patched CONN_COMP: %+v, want incremental", c)
+	}
+
+	// A delete delta: BFS still repairs, CONN_COMP must fall back.
+	resp = patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Deletes: []edgeSpec{{From: 5, To: 900}},
+	})
+	decodeBody(t, resp, &pr)
+	if d := run(gr.ID, "BFS"); !d.Incremental {
+		t.Fatalf("delete-delta BFS: %+v, want incremental", d)
+	}
+	if e := run(gr.ID, "CONN_COMP"); e.Incremental {
+		t.Fatalf("delete-delta CONN_COMP: %+v, want full recompute", e)
+	}
+	// PageRank has no incremental form at all.
+	if f := run(gr.ID, "PageRank"); f.Incremental {
+		t.Fatalf("PageRank: %+v, cannot be incremental", f)
+	}
+
+	m := fetchMetrics(t, ts.URL)
+	if v := metricValue(t, m, `crono_incremental_runs_total{kernel="BFS"}`); v != 2 {
+		t.Fatalf("incremental BFS counter = %v, want 2", v)
+	}
+	if v := metricValue(t, m, `crono_incremental_runs_total{kernel="CONN_COMP"}`); v != 1 {
+		t.Fatalf("incremental CONN_COMP counter = %v, want 1", v)
+	}
+}
+
+// TestErrorCodeCatalog pins the stable error-code contract: every
+// synchronous failure path maps to its documented slug. Codes are
+// append-only; a change here is a breaking API change.
+func TestErrorCodeCatalog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBodyBytes = 512
+	cfg.MaxVertices = 64
+	cfg.MaxDenseVertices = 4
+	_, ts := newTestServer(t, cfg)
+	gr := createGraph(t, ts.URL, "sparse", 32, 1)
+	// A second patch makes the root a stale pin for version-conflict.
+	resp := patchJSON(t, ts.URL+"/v1/graphs/"+gr.ID, patchRequest{
+		Inserts: []edgeSpec{{From: 0, To: 9, Weight: 1}},
+	})
+	resp.Body.Close()
+
+	graphsURL := ts.URL + "/v1/graphs"
+	thisURL := graphsURL + "/" + gr.ID
+	runURL := ts.URL + "/v1/run"
+	cases := []struct {
+		name   string
+		do     func() *http.Response
+		status int
+		code   string
+	}{
+		{"bad json", func() *http.Response {
+			resp, err := http.Post(graphsURL, "application/json", strings.NewReader("{"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, 400, codeBadJSON},
+		{"body too large", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Format: "snap", Data: strings.Repeat("0 1\n", 400)})
+		}, 413, codeBodyTooLarge},
+		{"conflicting input", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Kind: "sparse", N: 8, Format: "snap"})
+		}, 400, codeConflictingInput},
+		{"missing input", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{})
+		}, 400, codeMissingInput},
+		{"unknown format", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Format: "graphml", Data: "x"})
+		}, 400, codeUnknownFormat},
+		{"parse failed", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Format: "snap", Data: "garbage"})
+		}, 400, codeParseFailed},
+		{"unknown kind", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Kind: "hypercube", N: 8})
+		}, 400, codeUnknownKind},
+		{"n out of range", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Kind: "sparse", N: 1})
+		}, 400, codeNOutOfRange},
+		{"empty graph", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Format: "snap", Data: ""})
+		}, 400, codeEmptyGraph},
+		{"graph too large", func() *http.Response {
+			return postJSON(t, graphsURL, graphRequest{Format: "snap", Data: "0 99\n"})
+		}, 413, codeGraphTooLarge},
+		{"graph not found", func() *http.Response {
+			return getJSON(t, graphsURL+"/gdeadbeef", nil)
+		}, 404, codeGraphNotFound},
+		{"patch target not found", func() *http.Response {
+			return patchJSON(t, graphsURL+"/gdeadbeef", patchRequest{Inserts: []edgeSpec{{From: 0, To: 1, Weight: 1}}})
+		}, 404, codeGraphNotFound},
+		{"empty delta", func() *http.Response {
+			return patchJSON(t, thisURL, patchRequest{})
+		}, 400, codeEmptyDelta},
+		{"invalid delta", func() *http.Response {
+			return patchJSON(t, thisURL, patchRequest{Inserts: []edgeSpec{{From: 3, To: 3, Weight: 1}}})
+		}, 400, codeInvalidDelta},
+		{"version conflict", func() *http.Response {
+			return patchJSON(t, thisURL, patchRequest{
+				Inserts: []edgeSpec{{From: 1, To: 7, Weight: 2}},
+				Parent:  gr.Version,
+			})
+		}, 409, codeVersionConflict},
+		{"bad page", func() *http.Response {
+			return getJSON(t, graphsURL+"?limit=-1", nil)
+		}, 400, codeBadPage},
+		{"unknown kernel", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "QUANTUM"})
+		}, 400, codeUnknownKernel},
+		{"unknown platform", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS", Platform: "fpga"})
+		}, 400, codeUnknownPlatform},
+		{"unknown strategy", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS", Strategy: "quantum"})
+		}, 400, codeUnknownStrategy},
+		{"threads out of range", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS", Threads: 100000})
+		}, 400, codeThreadsOutOfRange},
+		{"bad params", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "PageRank", Iters: -1})
+		}, 400, codeBadParams},
+		{"sim thread overflow", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS", Platform: "sim", Threads: 8, SimCores: 4})
+		}, 400, codeSimThreadOverflow},
+		{"cities out of range", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Kernel: "TSP", Cities: 2})
+		}, 400, codeCitiesOutOfRange},
+		{"run graph not found", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: "gdeadbeef", Kernel: "BFS"})
+		}, 404, codeGraphNotFound},
+		{"source out of range", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS", Source: 32})
+		}, 400, codeSourceOutOfRange},
+		{"target out of range", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "BFS_TARGET", Target: -1})
+		}, 400, codeTargetOutOfRange},
+		{"dense too large", func() *http.Response {
+			return postJSON(t, runURL, runRequest{Graph: gr.ID, Kernel: "APSP"})
+		}, 422, codeDenseTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if code := errorCode(t, resp); code != tc.code {
+				t.Fatalf("code %q, want %q", code, tc.code)
+			}
+		})
+	}
+}
+
+// TestSaturatedEnvelope pins the 429 contract: structured code plus a
+// retryAfterMs mirror of the Retry-After header.
+func TestSaturatedEnvelope(t *testing.T) {
+	w := httptest.NewRecorder()
+	writeSaturated(w, 7)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if h := w.Header().Get("Retry-After"); h != "7" {
+		t.Fatalf("Retry-After %q, want 7", h)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != codeSaturated || e.Error.RetryAfterMs != 7000 {
+		t.Fatalf("envelope %+v, want %s with retryAfterMs 7000", e, codeSaturated)
+	}
+}
+
+// TestVersionedCacheKeyFormat pins the cache key's version component: two
+// versions of one graph must never share a key.
+func TestVersionedCacheKeyFormat(t *testing.T) {
+	req := runRequest{Platform: "native", Strategy: "frontier", Threads: 4}
+	bench, err := core.ByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runCacheKey("v0000000000000001", bench, &req)
+	b := runCacheKey("v0000000000000002", bench, &req)
+	if a == b {
+		t.Fatal("distinct versions share a cache key")
+	}
+	if !strings.Contains(a, "v0000000000000001") {
+		t.Fatalf("key %q does not embed the version ID", a)
+	}
+}

@@ -36,8 +36,12 @@ type Assertions struct {
 // failures with no HTTP response. Exclude carves deliberate codes out of
 // a class (cancel-storm allows 503/504 but no other 5xx).
 type ErrorBudget struct {
-	Class       string  `json:"class"`
-	Exclude     []int   `json:"exclude,omitempty"`
+	Class   string `json:"class"`
+	Exclude []int  `json:"exclude,omitempty"`
+	// Code narrows the class to observations carrying this structured
+	// error-code slug (e.g. "saturated"), matching on the machine
+	// contract rather than status alone.
+	Code        string  `json:"code,omitempty"`
 	MaxFraction float64 `json:"maxFraction"`
 }
 
@@ -190,7 +194,7 @@ func evaluate(a *Assertions, obs []Observation, before, after *Metrics,
 	for _, eb := range a.ErrorBudget {
 		n := 0
 		for _, o := range obs {
-			if classMatch(o.Status, eb.Class, eb.Exclude) {
+			if classMatch(o.Status, eb.Class, eb.Exclude) && (eb.Code == "" || o.Code == eb.Code) {
 				n++
 			}
 		}
@@ -201,6 +205,9 @@ func evaluate(a *Assertions, obs []Observation, before, after *Metrics,
 		name := fmt.Sprintf("status budget %s", eb.Class)
 		if len(eb.Exclude) > 0 {
 			name = fmt.Sprintf("status budget %s excluding %v", eb.Class, eb.Exclude)
+		}
+		if eb.Code != "" {
+			name = fmt.Sprintf("status budget %s code %s", eb.Class, eb.Code)
 		}
 		add(name, frac <= eb.MaxFraction,
 			fmt.Sprintf("%.3f (%d/%d)", frac, n, total),

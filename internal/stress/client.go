@@ -26,9 +26,16 @@ type Observation struct {
 	Status    int     `json:"status"`
 	Err       string  `json:"err,omitempty"`
 	LatencyMs float64 `json:"latencyMs"`
+	// Code is the structured error-code slug from the response envelope
+	// (empty on success or when no response arrived). Assertions and
+	// fault expectations match on it, never on message substrings.
+	Code string `json:"code,omitempty"`
 	// RetryAfter records whether a 429 carried the Retry-After header.
 	RetryAfter bool `json:"retryAfter,omitempty"`
 	Cached     bool `json:"cached,omitempty"`
+	// Incremental records whether a run was repaired from the parent
+	// version's cached result (dynamic-graph scenarios).
+	Incremental bool `json:"incremental,omitempty"`
 	// Violation is a harness-detected post-condition break (e.g. the
 	// duplicate-upload race yielding two IDs). Any violation fails the
 	// run's implicit assertion.
@@ -41,7 +48,14 @@ type Client struct {
 	HTTP *http.Client
 
 	mu     sync.Mutex
-	graphs map[string]string // handle → server graph ID
+	graphs map[string]graphHandle // handle → server-side identity
+}
+
+// graphHandle is what the client remembers about a created graph: the
+// server ID and the vertex count patch ops draw edge endpoints from.
+type graphHandle struct {
+	id string
+	n  int
 }
 
 // NewClient returns a client for the service at base (no trailing slash).
@@ -49,7 +63,7 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{Base: base, HTTP: hc, graphs: make(map[string]string)}
+	return &Client{Base: base, HTTP: hc, graphs: make(map[string]graphHandle)}
 }
 
 // graphCreateBody mirrors the service's graph-create request.
@@ -78,40 +92,58 @@ type runBody struct {
 // Setup creates the scenario's graphs and records their server IDs.
 func (c *Client) Setup(ctx context.Context, graphs []GraphSpec) error {
 	for _, g := range graphs {
-		id, _, err := c.createGraph(ctx, graphCreateBody{Kind: g.Kind, N: g.N, Seed: g.Seed})
+		id, _, _, err := c.createGraph(ctx, graphCreateBody{Kind: g.Kind, N: g.N, Seed: g.Seed})
 		if err != nil {
 			return fmt.Errorf("stress: create graph %q: %w", g.Handle, err)
 		}
 		c.mu.Lock()
-		c.graphs[g.Handle] = id
+		c.graphs[g.Handle] = graphHandle{id: id, n: g.N}
 		c.mu.Unlock()
 	}
 	return nil
 }
 
-func (c *Client) createGraph(ctx context.Context, body graphCreateBody) (id string, status int, err error) {
+// errEnvelope mirrors the service's structured error body.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// parseErrorCode extracts the structured code slug from an error body.
+func parseErrorCode(body []byte) string {
+	var e errEnvelope
+	if json.Unmarshal(body, &e) != nil {
+		return ""
+	}
+	return e.Error.Code
+}
+
+func (c *Client) createGraph(ctx context.Context, body graphCreateBody) (id string, status int, code string, err error) {
 	buf, _ := json.Marshal(body)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/graphs", bytes.NewReader(buf))
 	if err != nil {
-		return "", 0, err
+		return "", 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return "", 0, err
+		return "", 0, "", err
 	}
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusCreated {
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", resp.StatusCode, parseErrorCode(b),
+			fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
 	}
 	var gr struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
-		return "", resp.StatusCode, err
+		return "", resp.StatusCode, "", err
 	}
-	return gr.ID, resp.StatusCode, nil
+	return gr.ID, resp.StatusCode, "", nil
 }
 
 // drainClose consumes the rest of a response body so the connection can
@@ -133,16 +165,19 @@ func (c *Client) Do(ctx context.Context, phase string, user int, op *Op) (obs Ob
 	switch op.Fault {
 	case FaultOversize:
 		obs.Kind = "graph"
-		// An upload bigger than the server's body cap: expect 413, never
-		// an accepted graph.
+		// An upload bigger than the server's body cap: expect 413 with the
+		// body-too-large code, never an accepted graph.
 		body := graphCreateBody{Data: strings.Repeat("x", op.OversizeBytes)}
-		id, status, err := c.createGraph(ctx, body)
-		obs.Status = status
+		id, status, code, err := c.createGraph(ctx, body)
+		obs.Status, obs.Code = status, code
 		if err != nil && status == 0 {
 			obs.Err = err.Error()
 		}
-		if id != "" {
+		switch {
+		case id != "":
 			obs.Violation = "oversized upload was accepted"
+		case status != 0 && code != "body-too-large":
+			obs.Violation = fmt.Sprintf("oversized upload answered %d with code %q, want body-too-large", status, code)
 		}
 		return obs
 	case FaultDupUpload:
@@ -158,6 +193,15 @@ func (c *Client) Do(ctx context.Context, phase string, user int, op *Op) (obs Ob
 		}
 		req.Header.Set("Content-Type", "application/json")
 		c.roundTrip(req, &obs)
+		if obs.Status != 0 && obs.Code != "bad-json" {
+			obs.Violation = fmt.Sprintf("malformed JSON answered %d with code %q, want bad-json", obs.Status, obs.Code)
+		}
+		return obs
+	}
+
+	if op.IsPatch() {
+		obs.Kind = "patch"
+		c.doPatch(ctx, op, &obs)
 		return obs
 	}
 
@@ -173,7 +217,7 @@ func (c *Client) Do(ctx context.Context, phase string, user int, op *Op) (obs Ob
 		body.Source = 0
 	} else {
 		c.mu.Lock()
-		body.Graph = c.graphs[op.Graph]
+		body.Graph = c.graphs[op.Graph].id
 		c.mu.Unlock()
 	}
 	buf, _ := json.Marshal(body)
@@ -215,7 +259,7 @@ func (c *Client) Do(ctx context.Context, phase string, user int, op *Op) (obs Ob
 	return obs
 }
 
-// roundTrip performs the request and fills status/err/cached/retryAfter.
+// roundTrip performs the request and fills status/err/code/cached.
 func (c *Client) roundTrip(req *http.Request, obs *Observation) {
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -224,16 +268,86 @@ func (c *Client) roundTrip(req *http.Request, obs *Observation) {
 	}
 	defer drainClose(resp)
 	obs.Status = resp.StatusCode
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
+	if resp.StatusCode == http.StatusTooManyRequests {
 		obs.RetryAfter = resp.Header.Get("Retry-After") != ""
+	}
+	switch {
+	case resp.StatusCode >= 400:
+		// Every error must carry the structured envelope; a bare body is
+		// itself a post-condition break.
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		obs.Code = parseErrorCode(b)
+		if obs.Code == "" {
+			obs.Violation = fmt.Sprintf("status %d without a structured error code", resp.StatusCode)
+		}
 	case resp.StatusCode == http.StatusOK && obs.Kind == "run":
 		var rr struct {
-			Cached bool `json:"cached"`
+			Cached      bool `json:"cached"`
+			Incremental bool `json:"incremental"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&rr) == nil {
 			obs.Cached = rr.Cached
+			obs.Incremental = rr.Incremental
 		}
+	}
+}
+
+// patchBody mirrors the service's patch request.
+type patchBody struct {
+	Inserts []edgeBody `json:"inserts,omitempty"`
+	Deletes []edgeBody `json:"deletes,omitempty"`
+}
+
+type edgeBody struct {
+	From   int32 `json:"from"`
+	To     int32 `json:"to"`
+	Weight int32 `json:"weight,omitempty"`
+}
+
+// doPatch mutates the op's graph with a deterministic edge batch drawn
+// from the op's patch seed: distinct non-loop pairs, the first
+// PatchInserts as weighted inserts, the rest as deletes (absent deletes
+// are a documented server-side no-op, so the client needs no edge-state
+// tracking). Any 4xx on a harness-generated batch is a violation — the
+// batch is valid by construction.
+func (c *Client) doPatch(ctx context.Context, op *Op, obs *Observation) {
+	c.mu.Lock()
+	h := c.graphs[op.Graph]
+	c.mu.Unlock()
+	if h.id == "" || h.n < 2 {
+		obs.Violation = fmt.Sprintf("patch references unknown graph handle %q", op.Graph)
+		return
+	}
+	st := &stream{state: op.PatchSeed}
+	used := make(map[[2]int32]bool, op.PatchInserts+op.PatchDeletes)
+	draw := func() (int32, int32) {
+		for {
+			a, b := int32(st.intn(h.n)), int32(st.intn(h.n))
+			if a != b && !used[[2]int32{a, b}] {
+				used[[2]int32{a, b}] = true
+				return a, b
+			}
+		}
+	}
+	var body patchBody
+	for i := 0; i < op.PatchInserts; i++ {
+		a, b := draw()
+		body.Inserts = append(body.Inserts, edgeBody{From: a, To: b, Weight: int32(1 + st.intn(8))})
+	}
+	for i := 0; i < op.PatchDeletes; i++ {
+		a, b := draw()
+		body.Deletes = append(body.Deletes, edgeBody{From: a, To: b})
+	}
+	buf, _ := json.Marshal(body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPatch, c.Base+"/v1/graphs/"+h.id, bytes.NewReader(buf))
+	if err != nil {
+		obs.Err = err.Error()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.roundTrip(req, obs)
+	if obs.Status >= 400 && obs.Status < 500 {
+		obs.Violation = fmt.Sprintf("valid patch rejected with %d (code %q)", obs.Status, obs.Code)
 	}
 }
 
@@ -249,7 +363,7 @@ func (c *Client) doDupUpload(ctx context.Context, op *Op, obs *Observation) {
 	results := make(chan res, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			id, status, err := c.createGraph(ctx, body)
+			id, status, _, err := c.createGraph(ctx, body)
 			results <- res{id, status, err}
 		}()
 	}

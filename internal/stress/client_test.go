@@ -204,3 +204,48 @@ func TestSlowReaderTrickles(t *testing.T) {
 		t.Fatal("slowReader ignored canceled context")
 	}
 }
+
+func TestClientPatchOp(t *testing.T) {
+	_, c := startServer(t, testScenario())
+	op := &Op{Seq: 0, Graph: "g", PatchInserts: 6, PatchDeletes: 3, PatchSeed: 0x9e3779b97f4a7c15}
+	obs := c.Do(context.Background(), "p", 0, op)
+	if obs.Kind != "patch" {
+		t.Fatalf("op kind %q, want patch", obs.Kind)
+	}
+	if obs.Status != 200 || obs.Violation != "" {
+		t.Fatalf("patch op: %+v", obs)
+	}
+	// A run against the mutated graph still works and names a version.
+	run := c.Do(context.Background(), "p", 0, cleanOp(1))
+	if run.Status != 200 {
+		t.Fatalf("run after patch: %+v", run)
+	}
+}
+
+func TestClientUnstructuredErrorIsViolation(t *testing.T) {
+	// A stub that 500s with a bare body: the harness must flag the
+	// missing envelope, not just record the status.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+	obs := c.Do(context.Background(), "p", 0, cleanOp(0))
+	if obs.Status != 500 || obs.Violation == "" {
+		t.Fatalf("bare 500 not flagged: %+v", obs)
+	}
+}
+
+func TestClientErrorCodeCaptured(t *testing.T) {
+	_, c := startServer(t, testScenario())
+	// Force a structured 404 by pointing a run at a dangling handle.
+	op := &Op{Seq: 0, Kernel: "BFS", Graph: "missing", Platform: "native",
+		Strategy: "frontier", Threads: 2, TimeoutMs: 1000}
+	obs := c.Do(context.Background(), "p", 0, op)
+	if obs.Status != 404 || obs.Code != "graph-not-found" {
+		t.Fatalf("structured code not captured: %+v", obs)
+	}
+	if obs.Violation != "" {
+		t.Fatalf("structured 404 flagged as violation: %+v", obs)
+	}
+}

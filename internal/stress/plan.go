@@ -48,7 +48,18 @@ type Op struct {
 	// DupSeed parametrizes the racing duplicate upload; drawn from a
 	// small set so chaos runs cannot flood the graph store.
 	DupSeed int64 `json:"dupSeed,omitempty"`
+
+	// Patch op fields (set when the mix entry carried a PatchSpec): the
+	// client PATCHes the graph with PatchInserts+PatchDeletes edges drawn
+	// deterministically from PatchSeed. All omitempty so pre-patch
+	// schedules keep their digests.
+	PatchInserts int    `json:"patchInserts,omitempty"`
+	PatchDeletes int    `json:"patchDeletes,omitempty"`
+	PatchSeed    uint64 `json:"patchSeed,omitempty"`
 }
+
+// IsPatch reports whether the op is a graph mutation rather than a run.
+func (op *Op) IsPatch() bool { return op.PatchInserts+op.PatchDeletes > 0 }
 
 // UserPlan is one virtual user's op sequence.
 type UserPlan struct {
@@ -136,6 +147,14 @@ func Plan(sc *Scenario) (*Schedule, error) {
 				op.Threads, op.TimeoutMs = m.Threads, m.TimeoutMs
 				op.Iters, op.SimCores, op.Cities = m.Iters, m.SimCores, m.Cities
 				op.Source = st.intn(m.Sources)
+				if m.Patch != nil {
+					op.PatchInserts, op.PatchDeletes = m.Patch.Inserts, m.Patch.Deletes
+					// |1 keeps the seed nonzero: the client seeds a
+					// splitmix64 stream directly from it. The extra draw
+					// only happens for patch entries, so pre-patch
+					// schedules are byte-identical.
+					op.PatchSeed = st.next() | 1
+				}
 				// Fault draw: one cumulative-probability walk per op.
 				f := &p.Faults
 				r := st.float64()

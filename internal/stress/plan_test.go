@@ -236,3 +236,88 @@ func TestStreamIndependence(t *testing.T) {
 		t.Fatalf("user streams collide on %d of 64 draws", same)
 	}
 }
+
+// patchScenario mixes kernel runs with graph mutations.
+func patchScenario(seed uint64) *Scenario {
+	sc := &Scenario{
+		Name:   "churn",
+		Seed:   seed,
+		Graphs: []GraphSpec{{Handle: "g", Kind: "sparse", N: 2048, Seed: 5}},
+		Phases: []Phase{{
+			Name: "churn", Users: 2, Requests: 20,
+			Arrival: Arrival{Pattern: "closed"},
+			Mix: []MixEntry{
+				{Weight: 3, Kernel: "BFS", Graph: "g"},
+				{Weight: 1, Graph: "g", Patch: &PatchSpec{Inserts: 4, Deletes: 2}},
+			},
+		}},
+	}
+	sc.normalize()
+	return sc
+}
+
+// TestPlanPatchOps: patch mix entries plan into patch ops with a nonzero
+// deterministic seed, and the schedule stays replayable.
+func TestPlanPatchOps(t *testing.T) {
+	a, err := Plan(patchScenario(7))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	b, err := Plan(patchScenario(7))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("patch schedule not replayable: %s vs %s", a.Digest, b.Digest)
+	}
+	patches := 0
+	for _, u := range a.Phases[0].Users {
+		for _, op := range u.Ops {
+			if !op.IsPatch() {
+				if op.Kernel == "" {
+					t.Fatalf("non-patch op without kernel: %+v", op)
+				}
+				continue
+			}
+			patches++
+			if op.PatchInserts != 4 || op.PatchDeletes != 2 || op.PatchSeed == 0 {
+				t.Fatalf("patch op fields: %+v", op)
+			}
+			if op.Kernel != "" {
+				t.Fatalf("patch op carries kernel %q", op.Kernel)
+			}
+		}
+	}
+	if patches == 0 {
+		t.Fatal("no patch ops planned from a weight-1/4 mix over 20 requests")
+	}
+}
+
+// TestValidatePatchEntries pins the patch-entry validation rules.
+func TestValidatePatchEntries(t *testing.T) {
+	base := func() *Scenario { return patchScenario(1) }
+
+	sc := base()
+	sc.Phases[0].Mix[1].Kernel = "BFS"
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted a patch entry that also names a kernel")
+	}
+
+	sc = base()
+	sc.Phases[0].Mix[1].Patch = &PatchSpec{}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted an empty patch spec")
+	}
+
+	sc = base()
+	sc.Phases[0].Mix[1].Graph = "nope"
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted a dangling patch graph handle")
+	}
+
+	sc = base()
+	sc.Phases[0].Mix[1].Patch = &PatchSpec{Inserts: 4096}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted a patch batch larger than the graph")
+	}
+}

@@ -116,10 +116,11 @@ type Arrival struct {
 	BurstIntervalMs float64 `json:"burstIntervalMs,omitempty"`
 }
 
-// MixEntry is one weighted request template.
+// MixEntry is one weighted request template: a kernel run, or — when
+// Patch is set — a graph mutation.
 type MixEntry struct {
 	Weight   float64 `json:"weight"`
-	Kernel   string  `json:"kernel"`
+	Kernel   string  `json:"kernel,omitempty"`
 	Graph    string  `json:"graph,omitempty"` // handle; unused by TSP
 	Platform string  `json:"platform,omitempty"`
 	Strategy string  `json:"strategy,omitempty"`
@@ -132,6 +133,17 @@ type MixEntry struct {
 	SimCores  int `json:"simCores,omitempty"`
 	Cities    int `json:"cities,omitempty"` // TSP only
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Patch turns this entry into a PATCH /v1/graphs/{id} mutation of its
+	// graph handle instead of a kernel run (edge-churn scenarios).
+	Patch *PatchSpec `json:"patch,omitempty"`
+}
+
+// PatchSpec sizes a mix entry's edge mutations. Each planned op draws
+// that many deterministic insert/delete edges from the op's patch seed,
+// so the mutation stream replays with the schedule.
+type PatchSpec struct {
+	Inserts int `json:"inserts,omitempty"`
+	Deletes int `json:"deletes,omitempty"`
 }
 
 // FaultPlan gives per-request probabilities of each chaos injection. At
@@ -308,6 +320,26 @@ func (sc *Scenario) Validate() error {
 			m := &p.Mix[mi]
 			if m.Weight <= 0 {
 				return fmt.Errorf("%s: mix[%d]: weight %v <= 0", where, mi, m.Weight)
+			}
+			if m.Patch != nil {
+				if m.Kernel != "" {
+					return fmt.Errorf("%s: mix[%d]: a patch entry cannot also name kernel %q", where, mi, m.Kernel)
+				}
+				if m.Patch.Inserts < 0 || m.Patch.Deletes < 0 || m.Patch.Inserts+m.Patch.Deletes < 1 {
+					return fmt.Errorf("%s: mix[%d]: patch needs inserts+deletes >= 1, got %d+%d",
+						where, mi, m.Patch.Inserts, m.Patch.Deletes)
+				}
+				g, ok := handles[m.Graph]
+				if !ok {
+					return fmt.Errorf("%s: mix[%d]: graph handle %q not declared", where, mi, m.Graph)
+				}
+				// The client draws distinct non-loop pairs; a batch anywhere
+				// near N² pairs could spin forever.
+				if m.Patch.Inserts+m.Patch.Deletes > g.N {
+					return fmt.Errorf("%s: mix[%d]: patch batch %d exceeds graph %q's %d vertices",
+						where, mi, m.Patch.Inserts+m.Patch.Deletes, m.Graph, g.N)
+				}
+				continue
 			}
 			bench, err := core.ByName(m.Kernel)
 			if err != nil {
