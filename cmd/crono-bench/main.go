@@ -1,9 +1,12 @@
 // Command crono-bench times the graph-division kernels and emits a
 // perf-trajectory JSON artifact. It has two modes:
 //
-//   - native (default): times the scan vs frontier execution strategies
-//     on the native platform and writes BENCH_kernels.json. It is the
-//     regression guard for the frontier fast path.
+//   - native (default): times the scan, frontier and hybrid execution
+//     strategies on the native platform and writes BENCH_kernels.json;
+//     BFS specs large enough to carry a full batch additionally time one
+//     64-source bit-parallel pass against the same sources run one at a
+//     time. It is the regression guard for the frontier/hybrid fast
+//     paths and the batched kernel.
 //   - sim: times the simulator's sharded memory system against the
 //     -serialized global-lock baseline (Config.SerialMemory) on the same
 //     kernels and writes BENCH_sim.json. It is the regression guard for
@@ -20,8 +23,13 @@
 //	crono-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each -spec entry is kernel:graph:n; each -assert entry is
-// kernel:graph:minSpeedup and must name a spec that ran (in sim mode the
-// assertion is checked against the scan-strategy result). Sim-mode
+// kernel:graph:minSpeedup or kernel:graph:column:minSpeedup, where
+// column names the speedup to floor — "frontier" (the default for the
+// three-field form), "hybrid" (scan vs hybrid) or "batched" (sequential
+// single-source runs vs one bit-parallel pass, native BFS only) — and
+// must name a spec that ran (in sim mode the assertion is checked
+// against the scan-strategy result and only the three-field form is
+// meaningful). Sim-mode
 // speedups depend on host parallelism: a single-CPU host runs the
 // simulated cores one at a time, so sharding the memory-system lock
 // cannot beat ~1x there. The artifact records hostCPUs so readers can
@@ -48,8 +56,11 @@ import (
 
 // defaultSpec sizes each kernel so the whole run stays in CI-smoke
 // territory at -reps 1 while the road-network BFS entry is big enough
-// (1M vertices) to expose the asymptotic scan-vs-frontier gap.
-const defaultSpec = "BFS:road-ca:1048576,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768"
+// (1M vertices) to expose the asymptotic scan-vs-frontier gap. The
+// social-graph BFS entry is where the hybrid direction switch and the
+// bit-parallel batched kernel show their wins: small-world frontiers
+// overlap, which is exactly what both exploit.
+const defaultSpec = "BFS:road-ca:1048576,BFS:social:65536,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768"
 
 // defaultSimSpec keeps the simulator runs small enough for CI: the
 // detailed memory-system model costs ~1000x native execution per
@@ -69,6 +80,19 @@ type benchResult struct {
 	// Speedup is scan time over frontier time; > 1 means the frontier
 	// strategy is faster.
 	Speedup float64 `json:"speedup"`
+	// HybridNs times the direction-optimizing strategy on the same spec;
+	// HybridSpeedup is scan time over hybrid time.
+	HybridNs      uint64  `json:"hybridNs"`
+	HybridSpeedup float64 `json:"hybridSpeedup"`
+	// The batched columns are present only for BFS specs with at least
+	// BFSBatchWidth vertices: BatchedSeqNs runs BFSBatchWidth evenly
+	// spaced sources one at a time through the frontier kernel,
+	// BatchedNs runs the same sources as one bit-parallel pass, and
+	// BatchedSpeedup is sequential over batched time — the per-request
+	// cost reduction the service's cross-request batching buys.
+	BatchedSeqNs   uint64  `json:"batchedSeqNs,omitempty"`
+	BatchedNs      uint64  `json:"batchedNs,omitempty"`
+	BatchedSpeedup float64 `json:"batchedSpeedup,omitempty"`
 }
 
 type benchReport struct {
@@ -126,6 +150,10 @@ type spec struct {
 type assertion struct {
 	kernel string
 	graph  string
+	// column selects which speedup the floor applies to: "frontier"
+	// (scan/frontier, the three-field default), "hybrid" (scan/hybrid)
+	// or "batched" (sequential/bit-parallel, BFS only).
+	column string
 	min    float64
 }
 
@@ -228,6 +256,10 @@ func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64,
 		if err != nil {
 			return false, fmt.Errorf("%s/%s frontier: %w", sp.kernel, sp.graph, err)
 		}
+		hybridNs, err := timeStrategy(ctx, bench, g, core.StrategyHybrid, threads, reps)
+		if err != nil {
+			return false, fmt.Errorf("%s/%s hybrid: %w", sp.kernel, sp.graph, err)
+		}
 		r := benchResult{
 			Kernel:     sp.kernel,
 			Graph:      sp.graph,
@@ -236,10 +268,23 @@ func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64,
 			Threads:    threads,
 			ScanNs:     scanNs,
 			FrontierNs: frontierNs,
+			HybridNs:   hybridNs,
 		}
 		r.Speedup = speedup(scanNs, frontierNs)
-		fmt.Fprintf(os.Stderr, "  scan %d ns, frontier %d ns, speedup %.2fx\n",
-			scanNs, frontierNs, r.Speedup)
+		r.HybridSpeedup = speedup(scanNs, hybridNs)
+		fmt.Fprintf(os.Stderr, "  scan %d ns, frontier %d ns (%.2fx), hybrid %d ns (%.2fx)\n",
+			scanNs, frontierNs, r.Speedup, hybridNs, r.HybridSpeedup)
+		if sp.kernel == "BFS" && g.N >= core.BFSBatchWidth {
+			seqNs, batchNs, err := timeBatched(ctx, g, threads, reps)
+			if err != nil {
+				return false, fmt.Errorf("%s/%s batched: %w", sp.kernel, sp.graph, err)
+			}
+			r.BatchedSeqNs = seqNs
+			r.BatchedNs = batchNs
+			r.BatchedSpeedup = speedup(seqNs, batchNs)
+			fmt.Fprintf(os.Stderr, "  %d sequential runs %d ns, one batched pass %d ns (%.2fx)\n",
+				core.BFSBatchWidth, seqNs, batchNs, r.BatchedSpeedup)
+		}
 		rep.Results = append(rep.Results, r)
 	}
 
@@ -249,9 +294,9 @@ func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64,
 
 	failed := false
 	for _, a := range asserts {
-		got, ok := findSpeedup(rep.Results, a.kernel, a.graph)
+		got, ok := findSpeedup(rep.Results, a.kernel, a.graph, a.column)
 		if !ok {
-			return false, fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph)
+			return false, fmt.Errorf("assert %s:%s:%s names a spec/column that did not run", a.kernel, a.graph, a.column)
 		}
 		failed = checkAssert(a, got) || failed
 	}
@@ -319,6 +364,10 @@ func runSim(specs []spec, asserts []assertion, hostThreads, simCores, reps int, 
 
 	failed := false
 	for _, a := range asserts {
+		if a.column != "frontier" {
+			return false, fmt.Errorf("assert %s:%s:%s: sim mode has no %s column (use the three-field form)",
+				a.kernel, a.graph, a.column, a.column)
+		}
 		got, ok := findSimSpeedup(rep.Results, a.kernel, a.graph)
 		if !ok {
 			return false, fmt.Errorf("assert %s:%s names a spec that did not run", a.kernel, a.graph)
@@ -331,23 +380,28 @@ func runSim(specs []spec, asserts []assertion, hostThreads, simCores, reps int, 
 // checkAssert reports whether the assertion failed, logging either way.
 func checkAssert(a assertion, got float64) bool {
 	if got < a.min {
-		fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s speedup %.2fx < required %.2fx\n",
-			a.kernel, a.graph, got, a.min)
+		fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s %s speedup %.2fx < required %.2fx\n",
+			a.kernel, a.graph, a.column, got, a.min)
 		return true
 	}
-	fmt.Fprintf(os.Stderr, "assert ok: %s on %s speedup %.2fx >= %.2fx\n",
-		a.kernel, a.graph, got, a.min)
+	fmt.Fprintf(os.Stderr, "assert ok: %s on %s %s speedup %.2fx >= %.2fx\n",
+		a.kernel, a.graph, a.column, got, a.min)
 	return false
 }
 
 // speedup returns baseline time over contender time, guarded against the
 // zero durations a coarse timer can report on tiny inputs: two zero
-// times compare as equal, and a lone zero contender time is clamped to
-// one tick so the ratio stays finite (encoding/json rejects Inf and
-// -assert would otherwise divide by zero).
+// times compare as equal, and a lone zero on either side is clamped to
+// one tick so the ratio stays finite and meaningful (encoding/json
+// rejects Inf, and an unclamped zero *base* would report 0.0x for a run
+// the timer was simply too coarse to see — spuriously failing any
+// -assert floor even though the contender lost nothing).
 func speedup(baseNs, contenderNs uint64) float64 {
 	if baseNs == 0 && contenderNs == 0 {
 		return 1
+	}
+	if baseNs == 0 {
+		baseNs = 1
 	}
 	if contenderNs == 0 {
 		contenderNs = 1
@@ -377,6 +431,41 @@ func timeStrategy(ctx context.Context, bench core.Benchmark, g *graph.CSR, st co
 		}
 	}
 	return best, nil
+}
+
+// timeBatched times BFSBatchWidth evenly spaced sources two ways: one
+// at a time through the single-source frontier kernel (the cost a burst
+// of independent requests pays without batching) and as one bit-parallel
+// BFSBatch pass. Both totals are best-of-reps parallel-region time.
+func timeBatched(ctx context.Context, g *graph.CSR, threads, reps int) (seqNs, batchNs uint64, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	sources := make([]int, core.BFSBatchWidth)
+	for i := range sources {
+		sources[i] = i * g.N / core.BFSBatchWidth
+	}
+	for i := 0; i < reps; i++ {
+		var seq uint64
+		for _, src := range sources {
+			res, err := core.BFSFrontier(ctx, native.New(), g, src, threads)
+			if err != nil {
+				return 0, 0, err
+			}
+			seq += res.Report.Time
+		}
+		if i == 0 || seq < seqNs {
+			seqNs = seq
+		}
+		res, err := core.BFSBatch(ctx, native.New(), g, sources, threads)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t := res.Report.Time; i == 0 || t < batchNs {
+			batchNs = t
+		}
+	}
+	return seqNs, batchNs, nil
 }
 
 type simRun struct {
@@ -454,14 +543,22 @@ func parseAsserts(s string) ([]assertion, error) {
 			continue
 		}
 		f := strings.Split(part, ":")
-		if len(f) != 3 {
-			return nil, fmt.Errorf("assert %q: want kernel:graph:minSpeedup", part)
+		column := "frontier"
+		switch len(f) {
+		case 3:
+		case 4:
+			column = f[2]
+			if column != "frontier" && column != "hybrid" && column != "batched" {
+				return nil, fmt.Errorf("assert %q: unknown column %q (want frontier, hybrid or batched)", part, column)
+			}
+		default:
+			return nil, fmt.Errorf("assert %q: want kernel:graph:minSpeedup or kernel:graph:column:minSpeedup", part)
 		}
-		min, err := strconv.ParseFloat(f[2], 64)
+		min, err := strconv.ParseFloat(f[len(f)-1], 64)
 		if err != nil || min <= 0 {
-			return nil, fmt.Errorf("assert %q: bad speedup %q", part, f[2])
+			return nil, fmt.Errorf("assert %q: bad speedup %q", part, f[len(f)-1])
 		}
-		out = append(out, assertion{kernel: f[0], graph: f[1], min: min})
+		out = append(out, assertion{kernel: f[0], graph: f[1], column: column, min: min})
 	}
 	return out, nil
 }
@@ -475,9 +572,23 @@ func knownKind(k string) bool {
 	return false
 }
 
-func findSpeedup(rs []benchResult, kernel, g string) (float64, bool) {
+// findSpeedup returns the named column's speedup for the (kernel, graph)
+// result. The batched column only exists on BFS specs that ran the
+// bit-parallel comparison, so asserting it elsewhere reports not-found.
+func findSpeedup(rs []benchResult, kernel, g, column string) (float64, bool) {
 	for _, r := range rs {
-		if r.Kernel == kernel && r.Graph == g {
+		if r.Kernel != kernel || r.Graph != g {
+			continue
+		}
+		switch column {
+		case "hybrid":
+			return r.HybridSpeedup, true
+		case "batched":
+			if r.BatchedSpeedup == 0 {
+				return 0, false
+			}
+			return r.BatchedSpeedup, true
+		default:
 			return r.Speedup, true
 		}
 	}

@@ -16,7 +16,11 @@ func TestSpeedupGuards(t *testing.T) {
 		{"slowdown", 100, 200, 0.5},
 		{"both zero", 0, 0, 1},
 		{"zero frontier", 500, 0, 500},
-		{"zero scan", 0, 100, 0},
+		// A zero base with a nonzero contender is a too-coarse timer, not
+		// a measured infinite slowdown: the base clamps to one tick. The
+		// pre-fix 0.0 here failed every -assert floor spuriously.
+		{"zero scan", 0, 100, 0.01},
+		{"zero scan one tick", 0, 1, 1},
 	}
 	for _, c := range cases {
 		got := speedup(c.scanNs, c.frontierNs)
@@ -59,13 +63,26 @@ func TestParseAsserts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(as) != 1 || as[0].min != 2.0 {
+	if len(as) != 1 || as[0].min != 2.0 || as[0].column != "frontier" {
 		t.Fatalf("asserts %+v", as)
+	}
+	as, err = parseAsserts("BFS:road-ca:hybrid:1.5, BFS:social:batched:4, COMM:social:frontier:1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 3 || as[0].column != "hybrid" || as[1].column != "batched" || as[2].column != "frontier" {
+		t.Fatalf("four-field asserts %+v", as)
+	}
+	if as[1].min != 4 {
+		t.Fatalf("four-field min %+v", as[1])
 	}
 	if as, err := parseAsserts(""); err != nil || len(as) != 0 {
 		t.Fatalf("empty assert list: %v %+v", err, as)
 	}
-	for _, bad := range []string{"BFS:road-ca", "BFS:road-ca:0", "BFS:road-ca:-1", "BFS:road-ca:x"} {
+	for _, bad := range []string{
+		"BFS:road-ca", "BFS:road-ca:0", "BFS:road-ca:-1", "BFS:road-ca:x",
+		"BFS:road-ca:warp:2.0", "BFS:road-ca:hybrid:0", "BFS:road-ca:hybrid:2.0:extra",
+	} {
 		if _, err := parseAsserts(bad); err == nil {
 			t.Errorf("parseAsserts(%q) accepted", bad)
 		}
@@ -73,11 +90,23 @@ func TestParseAsserts(t *testing.T) {
 }
 
 func TestFindSpeedup(t *testing.T) {
-	rs := []benchResult{{Kernel: "BFS", Graph: "sparse", Speedup: 2.5}}
-	if got, ok := findSpeedup(rs, "BFS", "sparse"); !ok || got != 2.5 {
-		t.Fatalf("findSpeedup = %g, %v", got, ok)
+	rs := []benchResult{
+		{Kernel: "BFS", Graph: "sparse", Speedup: 2.5, HybridSpeedup: 3.5, BatchedSpeedup: 8},
+		{Kernel: "COMM", Graph: "social", Speedup: 1.5, HybridSpeedup: 1.4},
 	}
-	if _, ok := findSpeedup(rs, "BFS", "road-ca"); ok {
+	if got, ok := findSpeedup(rs, "BFS", "sparse", "frontier"); !ok || got != 2.5 {
+		t.Fatalf("findSpeedup frontier = %g, %v", got, ok)
+	}
+	if got, ok := findSpeedup(rs, "BFS", "sparse", "hybrid"); !ok || got != 3.5 {
+		t.Fatalf("findSpeedup hybrid = %g, %v", got, ok)
+	}
+	if got, ok := findSpeedup(rs, "BFS", "sparse", "batched"); !ok || got != 8 {
+		t.Fatalf("findSpeedup batched = %g, %v", got, ok)
+	}
+	if _, ok := findSpeedup(rs, "COMM", "social", "batched"); ok {
+		t.Fatal("found a batched column on a spec that never ran one")
+	}
+	if _, ok := findSpeedup(rs, "BFS", "road-ca", "frontier"); ok {
 		t.Fatal("found a spec that did not run")
 	}
 }

@@ -116,6 +116,11 @@ const (
 	// asymptotically cheaper on sparse frontiers. Default for the
 	// serving layer.
 	StrategyFrontier Strategy = core.StrategyFrontier
+	// StrategyHybrid picks direction-optimizing / sampled executions:
+	// push-pull BFS, pull PageRank over the in-edge CSR, Afforest
+	// connected components. Kernels without a hybrid form fall back to
+	// their frontier executions. Results match the scan oracles.
+	StrategyHybrid Strategy = core.StrategyHybrid
 )
 
 // Result types of the ten kernels.
@@ -249,6 +254,15 @@ func BFSFrontier(pl Platform, g *Graph, source, threads int) (*BFSResult, error)
 	return core.BFSFrontier(context.Background(), pl, g, source, threads)
 }
 
+// BFSHybrid runs direction-optimizing breadth-first search: push rounds
+// over the compact frontier worklist switch to pull rounds over the
+// in-edge CSR when the frontier's edge mass makes probing unexplored
+// vertices cheaper, and back when the frontier thins. Levels match BFS
+// exactly.
+func BFSHybrid(pl Platform, g *Graph, source, threads int) (*BFSResult, error) {
+	return core.BFSHybrid(context.Background(), pl, g, source, threads)
+}
+
 // SSSPFrontier runs single-source shortest paths with the frontier
 // strategy: delta-stepping-style bucketed fronts over a compact
 // worklist. Distances match SSSP exactly.
@@ -261,6 +275,15 @@ func SSSPFrontier(pl Platform, g *Graph, source, threads int, delta int32) (*SSS
 // ConnectedComponents exactly.
 func ComponentsFrontier(pl Platform, g *Graph, threads int) (*ComponentsResult, error) {
 	return core.ComponentsFrontier(context.Background(), pl, g, threads)
+}
+
+// ComponentsAfforest runs connected components with the Afforest
+// strategy: lock-free min-hooking union-find, two neighbor-sampling
+// rounds, and sampled short-circuiting of the giant component so most
+// vertices' remaining edges are never inspected. Labels match
+// ConnectedComponents exactly.
+func ComponentsAfforest(pl Platform, g *Graph, threads int) (*ComponentsResult, error) {
+	return core.ComponentsAfforest(context.Background(), pl, g, threads)
 }
 
 // CommunityFrontier runs Louvain community detection with the frontier
@@ -294,10 +317,26 @@ func BetweennessBrandes(pl Platform, g *Graph, threads int) (*BrandesResult, err
 	return core.BetweennessBrandes(context.Background(), pl, g, threads)
 }
 
-// PageRankPull runs Equation (1) PageRank in pull form, eliminating the
-// per-edge atomic locks of the push formulation.
+// PageRankPull runs Equation (1) PageRank in pull form over the in-edge
+// CSR, eliminating the per-edge atomic locks of the push formulation.
 func PageRankPull(pl Platform, g *Graph, threads, iters int) (*PageRankResult, error) {
 	return core.PageRankPull(context.Background(), pl, g, threads, iters)
+}
+
+// BFSBatchResult carries one full BFS payload per source of a batched
+// multi-source pass.
+type BFSBatchResult = core.BFSBatchResult
+
+// BFSBatchWidth is the most sources one BFSBatch pass carries.
+const BFSBatchWidth = core.BFSBatchWidth
+
+// BFSBatch runs up to BFSBatchWidth breadth-first searches in one
+// bit-parallel pass: each vertex carries a word with one reached-bit per
+// source, so one edge traversal advances every search at once. Per-source
+// levels match BFS exactly. The serving layer uses it to coalesce
+// concurrent same-graph run requests that differ only in source.
+func BFSBatch(pl Platform, g *Graph, sources []int, threads int) (*BFSBatchResult, error) {
+	return core.BFSBatch(context.Background(), pl, g, sources, threads)
 }
 
 // Modularity evaluates Newman modularity of a community assignment.

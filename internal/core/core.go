@@ -44,9 +44,13 @@ type Input struct {
 // replaces the scans with an explicit compact worklist (per-thread
 // next-frontier buffers merged at each barrier), which is asymptotically
 // cheaper when frontiers are sparse — road-class graphs see order-of-
-// magnitude wins. Both strategies produce identical results for BFS,
-// SSSP_DIJK and CONN_COMP; COMM keeps the same move rule but replaces
-// the modularity-plateau stop with worklist exhaustion.
+// magnitude wins. StrategyHybrid layers direction optimization on top:
+// BFS flips between frontier push and in-CSR pull rounds on frontier
+// density, CONN_COMP runs a sampled Afforest union-find, and PageRank
+// pulls contributions over the transpose. All strategies produce
+// identical results for BFS, SSSP_DIJK and CONN_COMP; COMM keeps the
+// same move rule but replaces the modularity-plateau stop with worklist
+// exhaustion.
 //
 // Kernels without a frontier formulation (the matrix, branch-and-bound
 // and fixed-iteration kernels) ignore the knob, like any other option
@@ -58,11 +62,18 @@ const (
 	StrategyScan Strategy = "scan"
 	// StrategyFrontier is the compact-worklist execution.
 	StrategyFrontier Strategy = "frontier"
+	// StrategyHybrid is the direction-optimizing / sampled execution:
+	// BFS switches push and pull per round on frontier density
+	// (BFSHybrid), CONN_COMP runs Afforest-style sampled union-find
+	// (ComponentsAfforest), and PageRank pulls over the in-CSR
+	// (PageRankPull). SSSP_DIJK and COMM have no direction-optimized
+	// formulation and fall back to their frontier executions.
+	StrategyHybrid Strategy = "hybrid"
 )
 
 // Valid reports whether s names a known strategy.
 func (s Strategy) Valid() bool {
-	return s == StrategyScan || s == StrategyFrontier
+	return s == StrategyScan || s == StrategyFrontier || s == StrategyHybrid
 }
 
 // Request bundles one kernel execution's input and options. Zero-valued
@@ -117,8 +128,8 @@ func (r Request) WithDefaults() Request {
 // the knob entirely.
 func (r Request) strategyErr() error {
 	if !r.Strategy.Valid() {
-		return fmt.Errorf("core: unknown strategy %q (want %q or %q)",
-			r.Strategy, StrategyScan, StrategyFrontier)
+		return fmt.Errorf("core: unknown strategy %q (want %q, %q or %q)",
+			r.Strategy, StrategyScan, StrategyFrontier, StrategyHybrid)
 	}
 	return nil
 }
@@ -188,7 +199,7 @@ func Suite() []Benchmark {
 					r   *SSSPResult
 					err error
 				)
-				if req.Strategy == StrategyFrontier {
+				if req.Strategy == StrategyFrontier || req.Strategy == StrategyHybrid {
 					r, err = SSSPFrontier(ctx, pl, req.G, req.Source, req.Threads, req.Delta)
 				} else {
 					r, err = SSSP(ctx, pl, req.G, req.Source, req.Threads)
@@ -232,9 +243,12 @@ func Suite() []Benchmark {
 					r   *BFSResult
 					err error
 				)
-				if req.Strategy == StrategyFrontier {
+				switch req.Strategy {
+				case StrategyHybrid:
+					r, err = BFSHybrid(ctx, pl, req.G, req.Source, req.Threads)
+				case StrategyFrontier:
 					r, err = BFSFrontier(ctx, pl, req.G, req.Source, req.Threads)
-				} else {
+				default:
 					r, err = BFS(ctx, pl, req.G, req.Source, req.Threads)
 				}
 				if err != nil {
@@ -276,9 +290,12 @@ func Suite() []Benchmark {
 					r   *ComponentsResult
 					err error
 				)
-				if req.Strategy == StrategyFrontier {
+				switch req.Strategy {
+				case StrategyHybrid:
+					r, err = ComponentsAfforest(ctx, pl, req.G, req.Threads)
+				case StrategyFrontier:
 					r, err = ComponentsFrontier(ctx, pl, req.G, req.Threads)
-				} else {
+				default:
 					r, err = ConnectedComponents(ctx, pl, req.G, req.Threads)
 				}
 				if err != nil {
@@ -302,7 +319,18 @@ func Suite() []Benchmark {
 			Name: "PageRank", Parallelization: "Vertex Capture & Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := PageRank(ctx, pl, req.G, req.Threads, req.Iters)
+				if err := req.strategyErr(); err != nil {
+					return nil, err
+				}
+				var (
+					r   *PageRankResult
+					err error
+				)
+				if req.Strategy == StrategyHybrid {
+					r, err = PageRankPull(ctx, pl, req.G, req.Threads, req.Iters)
+				} else {
+					r, err = PageRank(ctx, pl, req.G, req.Threads, req.Iters)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -320,7 +348,7 @@ func Suite() []Benchmark {
 					r   *CommunityResult
 					err error
 				)
-				if req.Strategy == StrategyFrontier {
+				if req.Strategy == StrategyFrontier || req.Strategy == StrategyHybrid {
 					r, err = CommunityFrontier(ctx, pl, req.G, req.Threads, req.MaxPasses)
 				} else {
 					r, err = Community(ctx, pl, req.G, req.Threads, req.MaxPasses)

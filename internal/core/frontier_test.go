@@ -252,7 +252,7 @@ func TestFrontierStrategyDispatch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("suite is missing %s: %v", name, err)
 		}
-		for _, st := range []Strategy{StrategyScan, StrategyFrontier, ""} {
+		for _, st := range []Strategy{StrategyScan, StrategyFrontier, StrategyHybrid, ""} {
 			if _, err := b.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: st}); err != nil {
 				t.Fatalf("%s strategy %q: %v", name, st, err)
 			}
@@ -261,13 +261,18 @@ func TestFrontierStrategyDispatch(t *testing.T) {
 			t.Fatalf("%s accepted unknown strategy", name)
 		}
 	}
-	// Kernels without a frontier implementation ignore the knob, same as
-	// the existing unused-option contract.
+	// PageRank consumes the knob only for hybrid (pull form); the other
+	// values are ignored like any unused option.
 	pr, err := ByName("PageRank")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pr.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: StrategyFrontier}); err != nil {
-		t.Fatalf("PageRank with frontier strategy: %v", err)
+	for _, st := range []Strategy{StrategyScan, StrategyFrontier, StrategyHybrid, ""} {
+		if _, err := pr.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: st}); err != nil {
+			t.Fatalf("PageRank strategy %q: %v", st, err)
+		}
+	}
+	if _, err := pr.Run(ctx, native.New(), Request{Input: Input{G: g}, Threads: 4, Strategy: "warp"}); err == nil {
+		t.Fatal("PageRank accepted unknown strategy")
 	}
 }

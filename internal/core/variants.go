@@ -475,12 +475,16 @@ func BrandesRef(g *graph.CSR) []float64 {
 	return cent
 }
 
-// PageRankPull runs PageRank in pull form: each vertex reads its
-// neighbors' previous ranks and writes only its own entry, eliminating
+// PageRankPull runs PageRank in pull form: each vertex sums the
+// published contributions of its in-neighbors (read off the cached
+// transpose, graph.CSR.InCSR) and writes only its own entry, eliminating
 // the per-edge atomic locks of the paper's push formulation. It computes
-// exactly the same Equation (1) iteration and serves as the
+// exactly the same Equation (1) iteration — rank flows along out-edges,
+// so the puller must read sources of in-edges — and serves as the
 // software-level answer to the lock bottleneck the paper characterizes.
-// Cancellation is polled once per iteration.
+// On directed graphs this now matches PageRankRef exactly; earlier
+// revisions pulled over the out-CSR, which was only correct for the
+// symmetric generator graphs. Cancellation is polled once per iteration.
 func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
@@ -489,9 +493,10 @@ func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads
 		iters = 1
 	}
 	n := g.N
+	in := g.InCSR()
 	pr := make([]float64, n)
 	next := make([]float64, n)
-	contrib := make([]float64, n) // pr[v]/deg(v), published per iteration
+	contrib := make([]float64, n) // pr[v]/outdeg(v), published per iteration
 	for i := range pr {
 		pr[i] = 1 / float64(n)
 	}
@@ -499,8 +504,8 @@ func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads
 	rPR := pl.Alloc("prp.ranks", n, 8)
 	rNext := pl.Alloc("prp.next", n, 8)
 	rCon := pl.Alloc("prp.contrib", n, 8)
-	rOff := pl.Alloc("prp.offsets", n+1, 8)
-	rTgt := pl.Alloc("prp.targets", g.M(), 4)
+	rOff := pl.Alloc("prp.inoffsets", n+1, 8)
+	rTgt := pl.Alloc("prp.intargets", in.M(), 4)
 	bar := pl.NewBarrier(threads)
 
 	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
@@ -510,7 +515,8 @@ func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads
 			if ctx.Checkpoint() != nil {
 				return
 			}
-			// Publish contributions for this iteration.
+			// Publish contributions for this iteration. The divisor is
+			// the out-degree of the contributor, from the forward graph.
 			for v := lo; v < hi; v++ {
 				ctx.Load(rPR.At(v))
 				if d := g.Degree(v); d > 0 {
@@ -522,13 +528,13 @@ func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads
 				ctx.Store(rCon.At(v))
 			}
 			ctx.Barrier(bar)
-			// Pull: sum neighbor contributions, no locks.
+			// Pull: sum in-neighbor contributions, no locks.
 			ctx.Active(hi - lo)
 			for v := lo; v < hi; v++ {
 				sum := 0.0
 				ctx.Load(rOff.At(v))
-				ts, _ := g.Neighbors(v)
-				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+				ts, _ := in.Neighbors(v)
+				ctx.LoadSpan(rTgt.At(int(in.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
 					ctx.Load(rCon.At(int(u)))
 					ctx.Compute(1)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Inf is the "no path" distance. It is small enough that Inf+Inf does not
@@ -33,6 +34,12 @@ type CSR struct {
 	Targets []int32
 	// Weights holds edge weights, parallel to Targets.
 	Weights []int32
+
+	// trMu guards tr, the lazily built cached transpose (see InCSR).
+	// Graphs are immutable once constructed, so the cache never goes
+	// stale; it is deliberately excluded from Validate and Fingerprint.
+	trMu sync.Mutex
+	tr   *CSR
 }
 
 // M returns the number of stored (directed) edges.

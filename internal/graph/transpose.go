@@ -1,0 +1,57 @@
+package graph
+
+// The transpose cache fields live on CSR (see graph.go) so every consumer
+// of a graph — the hybrid BFS pull rounds, the in-CSR PageRank, the
+// Afforest finish phase — shares one lazily built reverse-adjacency copy.
+// The service keeps graphs immutable after construction (copy-on-write
+// versions), which is what makes caching on the struct sound.
+
+// InCSR returns the transpose of g: a CSR whose out-edges are g's
+// in-edges, with weights carried over. It is built on first use and
+// cached on g, so repeated callers (every pull round of every hybrid run
+// on the same graph version) pay the O(N+M) construction exactly once.
+// Safe for concurrent use. The returned graph must not be modified.
+//
+// For an undirected graph (every edge stored in both directions) the
+// transpose has the same edge set as g, but callers should not rely on
+// pointer identity: InCSR always materializes a distinct CSR rather than
+// paying an O(M log deg) symmetry check up front.
+func (g *CSR) InCSR() *CSR {
+	g.trMu.Lock()
+	defer g.trMu.Unlock()
+	if g.tr == nil {
+		g.tr = transpose(g)
+	}
+	return g.tr
+}
+
+// transpose builds the reverse graph with a counting sort over targets:
+// one pass to size each in-neighbor list, one to fill. Neighbor lists
+// come out sorted by source vertex because g's edges are visited in
+// (from, to) order, matching the CSR sorted-neighbors invariant.
+func transpose(g *CSR) *CSR {
+	t := &CSR{
+		N:       g.N,
+		Offsets: make([]int64, g.N+1),
+		Targets: make([]int32, g.M()),
+		Weights: make([]int32, g.M()),
+	}
+	for _, to := range g.Targets {
+		t.Offsets[to+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		t.Offsets[v+1] += t.Offsets[v]
+	}
+	next := make([]int64, g.N)
+	copy(next, t.Offsets[:g.N])
+	for v := 0; v < g.N; v++ {
+		ts, ws := g.Neighbors(v)
+		for i, to := range ts {
+			p := next[to]
+			next[to]++
+			t.Targets[p] = int32(v)
+			t.Weights[p] = ws[i]
+		}
+	}
+	return t
+}

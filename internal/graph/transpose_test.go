@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestInCSRReversesEdges checks the transpose on a small directed graph:
+// every edge u->v of g must appear as v->u with the same weight, and the
+// result must satisfy the CSR invariants.
+func TestInCSRReversesEdges(t *testing.T) {
+	g := FromEdges(5, []Edge{
+		{From: 0, To: 1, Weight: 3},
+		{From: 0, To: 4, Weight: 7},
+		{From: 2, To: 1, Weight: 1},
+		{From: 3, To: 0, Weight: 9},
+		{From: 4, To: 2, Weight: 5},
+	}, false)
+	in := g.InCSR()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("transpose invalid: %v", err)
+	}
+	if in.N != g.N || in.M() != g.M() {
+		t.Fatalf("transpose shape n=%d m=%d, want n=%d m=%d", in.N, in.M(), g.N, g.M())
+	}
+	for _, e := range g.Edges() {
+		w, ok := in.EdgeWeight(int(e.To), int(e.From))
+		if !ok || w != e.Weight {
+			t.Fatalf("edge %d->%d w=%d missing reversed in transpose (got %d, %v)",
+				e.From, e.To, e.Weight, w, ok)
+		}
+	}
+	for _, e := range in.Edges() {
+		if _, ok := g.EdgeWeight(int(e.To), int(e.From)); !ok {
+			t.Fatalf("transpose has spurious edge %d->%d", e.From, e.To)
+		}
+	}
+}
+
+// TestInCSRSymmetric checks that an undirected graph's transpose carries
+// the same edge set (both are symmetric closures of the same edges).
+func TestInCSRSymmetric(t *testing.T) {
+	g := Generate(KindSparse, 200, 11)
+	in := g.InCSR()
+	if in.M() != g.M() {
+		t.Fatalf("transpose m=%d, want %d", in.M(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if w, ok := in.EdgeWeight(int(e.From), int(e.To)); !ok || w != e.Weight {
+			t.Fatalf("undirected edge %d->%d not preserved by transpose", e.From, e.To)
+		}
+	}
+}
+
+// TestInCSRCached checks the lazily built transpose is constructed once
+// and shared: repeated and concurrent calls return the same pointer.
+func TestInCSRCached(t *testing.T) {
+	g := Generate(KindSocial, 500, 3)
+	first := g.InCSR()
+	if g.InCSR() != first {
+		t.Fatal("second InCSR call returned a different transpose")
+	}
+	var wg sync.WaitGroup
+	got := make([]*CSR, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = g.InCSR()
+		}(i)
+	}
+	wg.Wait()
+	for i, in := range got {
+		if in != first {
+			t.Fatalf("concurrent caller %d got a different transpose", i)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"crono/internal/core"
+	"crono/internal/exec"
+	"crono/internal/graph"
+	"crono/internal/native"
+)
+
+// This file implements cross-request run batching: concurrent /v1/run
+// BFS requests that differ only in source vertex — same graph version,
+// same strategy, same thread count — are coalesced into one bit-parallel
+// multi-source kernel pass (core.BFSBatch, one uint64 visited word per
+// vertex) and fanned back out per source. A burst of K distinct-source
+// requests thus costs ceil(K/core.BFSBatchWidth) graph traversals
+// instead of K.
+//
+// The collector sits *inside* the result cache's compute path: each
+// request still owns its per-source cache key in Cache.Do (so identical
+// sources coalesce at the cache layer and results are cached per source,
+// exactly as for unbatched runs), but instead of executing directly the
+// compute joins a batch group. The first joiner arms a BatchWindow
+// timer; the group fires when the timer expires or the width limit is
+// reached, whichever comes first. The pass runs under a server-owned
+// context with the default deadline, so one member's cancellation never
+// kills the traversal the other members are waiting on.
+
+// batchMember is one waiting request: its source vertex and the channel
+// the finished pass delivers its per-source result on.
+type batchMember struct {
+	source int
+	ch     chan batchOut
+}
+
+// batchOut is what a pass delivers to each member.
+type batchOut struct {
+	cr  *cachedRun
+	err error
+}
+
+// batchGroup accumulates members for one (version, kernel, strategy,
+// threads) key until it fires.
+type batchGroup struct {
+	key     string
+	bench   core.Benchmark
+	g       *graph.CSR
+	req     runRequest // first joiner's request; Source varies per member
+	meta    runMeta    // graph/version identity (inc is always nil here)
+	timer   *time.Timer
+	members []*batchMember
+}
+
+// batcher collects open batch groups. A group is keyed by everything in
+// the run cache key except the source vertex, so members are guaranteed
+// to want the same kernel on the same input with the same options.
+type batcher struct {
+	mu     sync.Mutex
+	window time.Duration
+	groups map[string]*batchGroup
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{window: window, groups: make(map[string]*batchGroup)}
+}
+
+// batchKey derives the group key: the cache-key fields minus the source.
+func batchKey(versionID string, bench core.Benchmark, req *runRequest) string {
+	return fmt.Sprintf("batch|%s|%s|st=%s|t=%d", versionID, bench.Name, req.Strategy, req.Threads)
+}
+
+// batchable reports whether a run request may join a batch group:
+// batching is on, the kernel has a bit-parallel multi-source form (BFS),
+// the run is native (sim runs are timing experiments — perturbing them
+// with unrelated sources would corrupt the measurement), the strategy is
+// not the paper-fidelity scan, and the run is not an incremental repair
+// (those seed from a specific parent result).
+func (s *Server) batchable(bench core.Benchmark, req *runRequest, meta *runMeta, g *graph.CSR) bool {
+	return s.cfg.BatchWindow > 0 &&
+		bench.Name == "BFS" &&
+		req.Platform == "native" &&
+		req.Strategy != string(core.StrategyScan) &&
+		meta.inc == nil &&
+		g != nil
+}
+
+// joinBatch enrolls the request in its batch group (creating and arming
+// it if absent) and blocks until the pass delivers this source's result
+// or ctx expires. It runs inside Cache.Do's compute slot for the
+// request's own per-source key, so its return value is cached per
+// source like any other run result.
+func (s *Server) joinBatch(ctx context.Context, bench core.Benchmark, g *graph.CSR, req *runRequest, meta *runMeta) (any, error) {
+	m := &batchMember{source: req.Source, ch: make(chan batchOut, 1)}
+	key := batchKey(meta.versionID, bench, req)
+
+	b := s.batches
+	b.mu.Lock()
+	grp := b.groups[key]
+	// A group still resident at full width is mid-fire (its timer lost the
+	// Stop race below); start a fresh group rather than overflowing it.
+	// The stale timer callback's map identity check keeps it from touching
+	// the replacement.
+	if grp == nil || len(grp.members) >= core.BFSBatchWidth {
+		grp = &batchGroup{key: key, bench: bench, g: g, req: *req, meta: *meta}
+		b.groups[key] = grp
+		grp.timer = time.AfterFunc(b.window, func() {
+			b.mu.Lock()
+			if b.groups[key] == grp {
+				delete(b.groups, key)
+			}
+			b.mu.Unlock()
+			s.runBatch(grp)
+		})
+	}
+	grp.members = append(grp.members, m)
+	if len(grp.members) >= core.BFSBatchWidth {
+		// Width reached: fire now instead of waiting out the window. The
+		// timer may already be mid-fire; the map check in its callback
+		// makes the detach race-free (only one path runs the group).
+		if grp.timer.Stop() {
+			delete(b.groups, key)
+			b.mu.Unlock()
+			s.runBatch(grp)
+			b.mu.Lock()
+		}
+	}
+	b.mu.Unlock()
+
+	select {
+	case out := <-m.ch:
+		return out.cr, out.err
+	case <-ctx.Done():
+		// The pass keeps running for the remaining members; this source's
+		// result is simply not cached (Do drops errored computes).
+		return nil, ctx.Err()
+	}
+}
+
+// runBatch executes one multi-source pass on the worker pool and fans
+// the per-source results out to the members. It runs under a
+// server-owned context with the default deadline — member requests'
+// deadlines only govern their own waits.
+func (s *Server) runBatch(grp *batchGroup) {
+	sources := make([]int, len(grp.members))
+	for i, m := range grp.members {
+		sources[i] = m.source
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+	defer cancel()
+
+	var (
+		res  *core.BFSBatchResult
+		err  error
+		wall time.Duration
+		done = make(chan struct{})
+	)
+	if serr := s.pool.Submit(ctx, func() {
+		defer close(done)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		res, err = core.BFSBatch(ctx, native.New(), grp.g, sources, grp.req.Threads)
+		wall = time.Since(start)
+	}); serr != nil {
+		grp.deliverError(serr)
+		return
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.m.runErrors(grp.bench.Name, errReason(ctx.Err())).Inc()
+		grp.deliverError(ctx.Err())
+		return
+	}
+	if err != nil {
+		s.m.runErrors(grp.bench.Name, errReason(err)).Inc()
+		grp.deliverError(err)
+		return
+	}
+
+	s.m.runs(grp.bench.Name).Inc()
+	s.m.latency(grp.bench.Name, grp.req.Platform).Observe(wall.Seconds())
+	s.m.batchPasses.Inc()
+	s.m.batched(grp.bench.Name).Add(uint64(len(grp.members)))
+
+	rep := res.Report
+	for i, m := range grp.members {
+		resp := &runResponse{
+			Kernel:            grp.bench.Name,
+			Platform:          rep.Platform,
+			Threads:           rep.Threads,
+			Graph:             grp.meta.graphID,
+			GraphVersion:      grp.meta.versionID,
+			Batched:           true,
+			TimeUnit:          "ns",
+			Time:              rep.Time,
+			TotalInstructions: rep.TotalInstructions(),
+			Variability:       rep.Variability(),
+			Breakdown:         make(map[string]uint64, exec.NumComponents),
+			WallSeconds:       wall.Seconds(),
+		}
+		for c := exec.CompCompute; c < exec.NumComponents; c++ {
+			resp.Breakdown[c.String()] = rep.Breakdown[c]
+		}
+		m.ch <- batchOut{cr: &cachedRun{resp: resp, level: res.Level[i]}}
+	}
+}
+
+// deliverError fails every member with the same error.
+func (g *batchGroup) deliverError(err error) {
+	for _, m := range g.members {
+		m.ch <- batchOut{err: err}
+	}
+}

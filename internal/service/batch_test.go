@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crono/internal/core"
+)
+
+// runBurst fires one /v1/run request per source concurrently and returns
+// the decoded responses, failing the test on any non-200.
+func runBurst(t *testing.T, base, graphID, strategy string, sources []int) []runResponse {
+	t.Helper()
+	out := make([]runResponse, len(sources))
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+	)
+	start := make(chan struct{})
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i, src int) {
+			defer wg.Done()
+			<-start
+			body, _ := json.Marshal(runRequest{
+				Graph: graphID, Kernel: "BFS", Platform: "native",
+				Strategy: strategy, Threads: 2, Source: src,
+			})
+			resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				t.Logf("source %d: status %d: %s", src, resp.StatusCode, b)
+				failures.Add(1)
+				return
+			}
+			if json.NewDecoder(resp.Body).Decode(&out[i]) != nil {
+				failures.Add(1)
+			}
+		}(i, src)
+	}
+	close(start)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d burst runs failed", failures.Load(), len(sources))
+	}
+	return out
+}
+
+// TestBatchedRunsCoalesce fires a burst of K same-graph BFS requests with
+// K distinct sources and verifies they execute in ceil(K/64) bit-parallel
+// kernel passes: the batch metrics account for every request, the kernel
+// ran exactly twice, and every response is marked Batched.
+func TestBatchedRunsCoalesce(t *testing.T) {
+	cfg := DefaultConfig()
+	// A window long enough that every straggler of the burst joins before
+	// the group fires on time (the first 64 fire on width immediately).
+	cfg.BatchWindow = 300 * time.Millisecond
+	_, ts := newTestServer(t, cfg)
+	gr := createGraph(t, ts.URL, "sparse", 2000, 3)
+
+	const k = core.BFSBatchWidth + 6
+	sources := make([]int, k)
+	for i := range sources {
+		sources[i] = i
+	}
+	out := runBurst(t, ts.URL, gr.ID, "", sources)
+
+	for i, rr := range out {
+		if !rr.Batched {
+			t.Fatalf("response %d not marked batched: %+v", i, rr)
+		}
+		if rr.Cached {
+			t.Fatalf("response %d for distinct source marked cached", i)
+		}
+		if rr.GraphVersion != gr.Version {
+			t.Fatalf("response %d version %q, want %q", i, rr.GraphVersion, gr.Version)
+		}
+	}
+
+	m := fetchMetrics(t, ts.URL)
+	if v := metricValue(t, m, "crono_batch_passes_total"); v != 2 {
+		t.Errorf("batch passes = %v, want 2 (= ceil(%d/%d))", v, k, core.BFSBatchWidth)
+	}
+	if v := metricValue(t, m, `crono_batched_runs_total{kernel="BFS"}`); v != k {
+		t.Errorf("batched runs = %v, want %d", v, k)
+	}
+	if v := metricValue(t, m, `crono_kernel_runs_total{kernel="BFS"}`); v != 2 {
+		t.Errorf("kernel runs = %v, want 2", v)
+	}
+	if v := metricValue(t, m, "crono_cache_misses_total"); v != k {
+		t.Errorf("cache misses = %v, want %d (one per distinct source)", v, k)
+	}
+
+	// Batched results are cached per source like any other run result.
+	body, _ := json.Marshal(runRequest{Graph: gr.ID, Kernel: "BFS", Platform: "native", Threads: 2, Source: 5})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay runResponse
+	decodeBody(t, resp, &replay)
+	if !replay.Cached || !replay.Batched {
+		t.Fatalf("replay of batched source not served from cache: %+v", replay)
+	}
+}
+
+// TestBatchedRunMatchesUnbatched verifies a batched BFS reports the same
+// graph identity and a plausible report, and that a strategy=hybrid
+// burst batches too (batching covers every non-scan strategy).
+func TestBatchedRunMatchesUnbatched(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 150 * time.Millisecond
+	_, ts := newTestServer(t, cfg)
+	gr := createGraph(t, ts.URL, "social", 3000, 9)
+
+	out := runBurst(t, ts.URL, gr.ID, "hybrid", []int{1, 2, 3, 4, 5})
+	for i, rr := range out {
+		if !rr.Batched || rr.TotalInstructions == 0 || rr.TimeUnit != "ns" {
+			t.Fatalf("hybrid burst response %d: %+v", i, rr)
+		}
+	}
+	m := fetchMetrics(t, ts.URL)
+	if v := metricValue(t, m, "crono_batch_passes_total"); v != 1 {
+		t.Errorf("batch passes = %v, want 1", v)
+	}
+	if v := metricValue(t, m, `crono_batched_runs_total{kernel="BFS"}`); v != 5 {
+		t.Errorf("batched runs = %v, want 5", v)
+	}
+}
+
+// TestBatchingOptOuts verifies the shapes that must bypass the batch
+// collector: scan-strategy runs (paper fidelity) and servers with
+// batching disabled execute each request as its own kernel pass.
+func TestBatchingOptOuts(t *testing.T) {
+	t.Run("scan strategy", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.BatchWindow = 100 * time.Millisecond
+		_, ts := newTestServer(t, cfg)
+		gr := createGraph(t, ts.URL, "sparse", 1000, 1)
+		out := runBurst(t, ts.URL, gr.ID, "scan", []int{0, 1, 2})
+		for i, rr := range out {
+			if rr.Batched {
+				t.Fatalf("scan response %d marked batched", i)
+			}
+		}
+		m := fetchMetrics(t, ts.URL)
+		if v := metricValue(t, m, `crono_kernel_runs_total{kernel="BFS"}`); v != 3 {
+			t.Errorf("kernel runs = %v, want 3 (no batching for scan)", v)
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.BatchWindow = -1
+		_, ts := newTestServer(t, cfg)
+		gr := createGraph(t, ts.URL, "sparse", 1000, 1)
+		out := runBurst(t, ts.URL, gr.ID, "", []int{0, 1, 2})
+		for i, rr := range out {
+			if rr.Batched {
+				t.Fatalf("response %d batched with batching disabled", i)
+			}
+		}
+		m := fetchMetrics(t, ts.URL)
+		if v := metricValue(t, m, `crono_kernel_runs_total{kernel="BFS"}`); v != 3 {
+			t.Errorf("kernel runs = %v, want 3", v)
+		}
+	})
+}

@@ -67,9 +67,13 @@ func (c *Cache) Len() int {
 }
 
 // Peek returns the completed value for key without counting a hit or
-// miss and without waiting on an in-flight computation. It refreshes the
-// entry's LRU position: a peeked value is about to be used (as an
-// incremental-repair seed), so it should not be the next eviction victim.
+// miss, without waiting on an in-flight computation, and without
+// refreshing the entry's LRU position. Peeks are speculative reads (an
+// incremental-repair seed probe, a batch-eligibility check) issued on
+// behalf of a *different* key's request; promoting the peeked entry
+// would let a stream of such probes rescue a stale result from eviction
+// indefinitely while results clients actually requested get evicted
+// instead. Only Do, serving the entry's own key, touches recency.
 func (c *Cache) Peek(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -77,7 +81,6 @@ func (c *Cache) Peek(key string) (any, bool) {
 	if !ok || e.elem == nil {
 		return nil, false
 	}
-	c.lru.MoveToFront(e.elem)
 	return e.val, true
 }
 

@@ -123,9 +123,10 @@ type runRequest struct {
 	Kernel string `json:"kernel"`
 	// Platform is "native" (default) or "sim".
 	Platform string `json:"platform,omitempty"`
-	// Strategy is "scan" or "frontier" for the kernels with both
-	// executions. The serving layer defaults to "frontier" (fast path);
-	// paper-fidelity experiments should pass "scan" explicitly.
+	// Strategy is "scan", "frontier" or "hybrid" for the kernels with
+	// multiple executions. The serving layer defaults to "frontier" (fast
+	// path); paper-fidelity experiments should pass "scan" explicitly,
+	// and "hybrid" selects the direction-optimizing kernels.
 	Strategy string `json:"strategy,omitempty"`
 	Threads  int    `json:"threads,omitempty"`
 	// Source is the start vertex of SSSP/BFS/DFS.
@@ -166,6 +167,10 @@ type runResponse struct {
 	// Cached is true when the result came from the LRU or an in-flight
 	// coalesced computation rather than a fresh kernel execution.
 	Cached bool `json:"cached"`
+	// Batched is true when the result was computed by a shared
+	// multi-source kernel pass that coalesced this request with other
+	// in-flight sources on the same graph version (see Config.BatchWindow).
+	Batched bool `json:"batched,omitempty"`
 	// TimeUnit is "cycles" on sim, "ns" on native.
 	TimeUnit          string            `json:"timeUnit"`
 	Time              uint64            `json:"time"`
@@ -565,8 +570,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if !core.Strategy(req.Strategy).Valid() {
 		writeError(w, http.StatusBadRequest, codeUnknownStrategy,
-			"unknown strategy %q (want %q or %q)",
-			req.Strategy, core.StrategyScan, core.StrategyFrontier)
+			"unknown strategy %q (want %q, %q or %q)",
+			req.Strategy, core.StrategyScan, core.StrategyFrontier, core.StrategyHybrid)
 		return
 	}
 	if req.Threads == 0 {
@@ -652,6 +657,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	val, started, err := s.cache.Do(ctx, key, func() (any, error) {
+		if s.batchable(bench, &req, &meta, in.G) {
+			return s.joinBatch(ctx, bench, in.G, &req, &meta)
+		}
 		return s.execute(ctx, bench, in, &req, &meta)
 	})
 	if err != nil {

@@ -54,6 +54,12 @@ type Config struct {
 	// specify one (must be a perfect square; 64 keeps sim latency low,
 	// the paper's 256 is available per request).
 	SimCores int
+	// BatchWindow is how long the first BFS run request of a batchable
+	// shape (same graph version, strategy and threads; native; not scan;
+	// not incremental) waits for companions before executing, so that up
+	// to 64 concurrent sources share one bit-parallel kernel pass. Zero
+	// means the default; negative disables cross-request batching.
+	BatchWindow time.Duration
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -71,6 +77,7 @@ func DefaultConfig() Config {
 		DefaultTimeout:   30 * time.Second,
 		MaxTimeout:       5 * time.Minute,
 		SimCores:         64,
+		BatchWindow:      2 * time.Millisecond,
 	}
 }
 
@@ -109,6 +116,9 @@ func (c *Config) sanitize() {
 	if c.SimCores < 1 {
 		c.SimCores = d.SimCores
 	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = d.BatchWindow
+	}
 }
 
 // serverMetrics bundles every registered instrument.
@@ -124,17 +134,20 @@ type serverMetrics struct {
 	cacheHit    *Counter
 	cacheMiss   *Counter
 	coalesced   *Counter
+	batched     func(kernel string) *Counter
+	batchPasses *Counter
 }
 
 // Server is the graph-analytics service. Build one with New, mount
 // Handler on an http.Server, and Close it on shutdown to drain workers.
 type Server struct {
-	cfg   Config
-	store *Store
-	pool  *Pool
-	cache *Cache
-	m     *serverMetrics
-	mux   *http.ServeMux
+	cfg     Config
+	store   *Store
+	pool    *Pool
+	cache   *Cache
+	batches *batcher
+	m       *serverMetrics
+	mux     *http.ServeMux
 	// inflight counts kernel executions currently running on pool
 	// workers (queued tasks are not in flight; dropped tasks never
 	// increment). The stress harness asserts it returns to zero after
@@ -146,11 +159,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.sanitize()
 	s := &Server{
-		cfg:   cfg,
-		store: NewStore(cfg.MaxGraphs),
-		pool:  NewPool(cfg.Workers, cfg.QueueLen),
-		cache: NewCache(cfg.CacheEntries),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		store:   NewStore(cfg.MaxGraphs),
+		pool:    NewPool(cfg.Workers, cfg.QueueLen),
+		cache:   NewCache(cfg.CacheEntries),
+		batches: newBatcher(cfg.BatchWindow),
+		mux:     http.NewServeMux(),
 	}
 	s.m = s.newMetrics()
 	s.cache.SetCounters(s.m.cacheHit, s.m.cacheMiss, s.m.coalesced)
@@ -197,6 +211,13 @@ func (s *Server) newMetrics() *serverMetrics {
 				"version's cached result instead of recomputed from scratch.",
 			Label{"kernel", kernel})
 	}
+	m.batched = func(kernel string) *Counter {
+		return reg.Counter("crono_batched_runs_total",
+			"Run requests served by a shared multi-source batched kernel pass.",
+			Label{"kernel", kernel})
+	}
+	m.batchPasses = reg.Counter("crono_batch_passes_total",
+		"Multi-source batched kernel passes executed.")
 	m.cacheHit = reg.Counter("crono_cache_hits_total",
 		"Run requests served from the result cache.")
 	m.cacheMiss = reg.Counter("crono_cache_misses_total",

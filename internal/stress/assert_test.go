@@ -1,0 +1,70 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+)
+
+func scrapeMetrics(t *testing.T, text string) *Metrics {
+	t.Helper()
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	return m
+}
+
+func findResult(t *testing.T, rs []AssertionResult, name string) AssertionResult {
+	t.Helper()
+	for _, r := range rs {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("assertion %q not evaluated in %+v", name, rs)
+	return AssertionResult{}
+}
+
+// TestCacheHitRateCountsCoalesced pins the hit-rate denominator: a
+// coalesced waiter is a request the cache could not answer from a
+// resident entry, so it must count as a non-hit. The pre-fix computation
+// used hits/(hits+misses) and scored the scrape below 6/8 = 0.75,
+// passing a 0.6 floor that the true rate 6/12 = 0.5 fails.
+func TestCacheHitRateCountsCoalesced(t *testing.T) {
+	before := scrapeMetrics(t, `crono_cache_hits_total 0
+crono_cache_misses_total 0
+crono_cache_coalesced_total 0
+`)
+	after := scrapeMetrics(t, `crono_cache_hits_total 6
+crono_cache_misses_total 2
+crono_cache_coalesced_total 4
+`)
+
+	floor := 0.6
+	rs := evaluate(&Assertions{MinCacheHitRate: &floor}, nil, before, after, 0, 0)
+	r := findResult(t, rs, "cache hit rate")
+	if r.Pass {
+		t.Fatalf("rate 6/(6+2+4) = 0.5 passed a 0.6 floor: %+v (coalesced dropped from denominator)", r)
+	}
+	if !strings.Contains(r.Got, "0.500") || !strings.Contains(r.Got, "4 coalesced") {
+		t.Fatalf("got string does not account coalesced waiters: %+v", r)
+	}
+
+	floor = 0.5
+	rs = evaluate(&Assertions{MinCacheHitRate: &floor}, nil, before, after, 0, 0)
+	if r := findResult(t, rs, "cache hit rate"); !r.Pass {
+		t.Fatalf("true rate 0.5 failed its own floor: %+v", r)
+	}
+}
+
+// TestCacheHitRateNoLookups: a run with no cache traffic scores 0, not
+// NaN, and fails any positive floor.
+func TestCacheHitRateNoLookups(t *testing.T) {
+	empty := scrapeMetrics(t, "crono_cache_hits_total 0\n")
+	floor := 0.1
+	rs := evaluate(&Assertions{MinCacheHitRate: &floor}, nil, empty, empty, 0, 0)
+	r := findResult(t, rs, "cache hit rate")
+	if r.Pass || !strings.Contains(r.Got, "0.000") {
+		t.Fatalf("no-traffic run: %+v", r)
+	}
+}
