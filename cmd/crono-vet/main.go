@@ -1,7 +1,8 @@
 // Command crono-vet statically enforces the kernel-authoring invariants
 // of the exec.Ctx contract across the module: lock pairing, cancellation
 // liveness of barrier loops, barrier uniformity across threads,
-// simulator determinism and Region-derived addressing.
+// simulator determinism, Region-derived addressing, guarded shared
+// stores (unguardedstore) and live suppression directives (staleignore).
 //
 // Usage:
 //
@@ -77,6 +78,13 @@ func main() {
 	}
 
 	diags := analysis.Run(loader.Fset(), pkgs, selected, analysis.DefaultConfig())
+	// Relativize after the sort: paths shrink uniformly (one shared
+	// prefix), so the (file, line, col, checker) order — and therefore
+	// the emitted bytes — are stable across machines and working
+	// directories.
+	for i := range diags {
+		diags[i].File = relativize(cwd, diags[i].File)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -88,7 +96,6 @@ func main() {
 		}
 	} else {
 		for _, d := range diags {
-			d.File = relativize(cwd, d.File)
 			fmt.Println(d)
 		}
 	}

@@ -10,7 +10,11 @@
 //
 // line comment on the reported line or the line directly above it.
 // Without checker names the directive silences every checker for that
-// line; with names, only the listed ones.
+// line; with names, only the listed ones. The staleignore checker
+// closes the loop on the escape hatch: a directive that suppresses
+// nothing — when every checker it could silence has actually run — is
+// itself reported, so justifications cannot outlive the code they
+// excuse.
 package analysis
 
 import (
@@ -110,6 +114,8 @@ func Checkers() []*Checker {
 		DivergentBarrier,
 		SimDeterminism,
 		RawAddr,
+		UnguardedStore,
+		StaleIgnore,
 	}
 }
 
@@ -124,14 +130,27 @@ func CheckerByName(name string) (*Checker, error) {
 }
 
 // Run executes the checkers over the packages and returns the surviving
-// diagnostics sorted by file, line, column and checker. Findings on
-// lines covered by a //crono:vet-ignore directive are dropped.
+// diagnostics sorted by file, line, column, checker and message — a
+// total order, so repeated runs over the same tree are byte-identical.
+// Findings on lines covered by a //crono:vet-ignore directive are
+// dropped; when staleignore is among the checkers, directives that
+// suppressed nothing are reported after the suppression pass (the only
+// point where "suppressed nothing" is knowable).
 func Run(fset *token.FileSet, pkgs []*Package, checkers []*Checker, cfg Config) []Diagnostic {
+	ran := make([]*Checker, 0, len(checkers))
+	staleSelected := false
+	for _, c := range checkers {
+		if c.Name == StaleIgnore.Name {
+			staleSelected = true
+			continue
+		}
+		ran = append(ran, c)
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(fset, pkg.Files)
 		var pkgDiags []Diagnostic
-		for _, c := range checkers {
+		for _, c := range ran {
 			pass := &Pass{Checker: c.Name, Fset: fset, Pkg: pkg, Config: cfg, diags: &pkgDiags}
 			c.Run(pass)
 		}
@@ -139,6 +158,13 @@ func Run(fset *token.FileSet, pkgs []*Package, checkers []*Checker, cfg Config) 
 			if !ignores.covers(d) {
 				diags = append(diags, d)
 			}
+		}
+		if staleSelected {
+			// Stale reports bypass the ignore filter — a directive must
+			// not suppress its own staleness. The opt-out is explicit:
+			// name staleignore in the directive itself.
+			pass := &Pass{Checker: StaleIgnore.Name, Fset: fset, Pkg: pkg, Config: cfg, diags: &diags}
+			reportStaleIgnores(pass, ignores, ran)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -152,7 +178,10 @@ func Run(fset *token.FileSet, pkgs []*Package, checkers []*Checker, cfg Config) 
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Checker < b.Checker
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }
@@ -160,9 +189,19 @@ func Run(fset *token.FileSet, pkgs []*Package, checkers []*Checker, cfg Config) 
 // ignoreDirective is the comment prefix of the suppression escape hatch.
 const ignoreDirective = "crono:vet-ignore"
 
-// ignoreSet records, per file and line, which checkers are silenced
-// there (nil slice = all of them).
-type ignoreSet map[string]map[int][]string
+// ignoreEntry is the merged suppression state of one source line: the
+// checkers silenced there, whether a bare (silence-everything) directive
+// appeared, and whether any diagnostic was actually suppressed — the
+// fact staleignore assesses.
+type ignoreEntry struct {
+	pos   token.Pos
+	names []string // listed checkers; meaningless when all is set
+	all   bool     // bare directive: silence every checker
+	used  bool     // suppressed at least one finding this run
+}
+
+// ignoreSet records, per file and line, the suppression entry there.
+type ignoreSet map[string]map[int]*ignoreEntry
 
 func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 	set := make(ignoreSet)
@@ -183,13 +222,19 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 				pos := fset.Position(c.Pos())
 				byLine := set[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int]*ignoreEntry)
 					set[pos.Filename] = byLine
 				}
+				e := byLine[pos.Line]
+				if e == nil {
+					e = &ignoreEntry{pos: c.Pos()}
+					byLine[pos.Line] = e
+				}
 				if len(names) == 0 {
-					byLine[pos.Line] = nil // silence everything
-				} else if existing, seen := byLine[pos.Line]; !seen || existing != nil {
-					byLine[pos.Line] = append(existing, names...)
+					e.all = true // silence everything
+					e.names = nil
+				} else if !e.all {
+					e.names = append(e.names, names...)
 				}
 			}
 		}
@@ -198,22 +243,24 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 }
 
 // covers reports whether d is silenced by a directive on its line or the
-// line directly above.
+// line directly above, marking the silencing entry used.
 func (s ignoreSet) covers(d Diagnostic) bool {
 	byLine, ok := s[d.File]
 	if !ok {
 		return false
 	}
 	for _, line := range [2]int{d.Line, d.Line - 1} {
-		names, ok := byLine[line]
+		e, ok := byLine[line]
 		if !ok {
 			continue
 		}
-		if names == nil {
+		if e.all {
+			e.used = true
 			return true
 		}
-		for _, n := range names {
+		for _, n := range e.names {
 			if n == d.Checker {
+				e.used = true
 				return true
 			}
 		}

@@ -17,8 +17,69 @@ func TestCheckerFixtures(t *testing.T) {
 	for _, c := range analysis.Checkers() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
+			if c.Name == analysis.StaleIgnore.Name {
+				// Staleness lands on the directive's own line, where a
+				// want comment cannot also live; TestStaleIgnoreFixture
+				// asserts the expectations directly.
+				t.Skip("asserted by TestStaleIgnoreFixture")
+			}
 			vettest.Run(t, c.Name, filepath.Join("testdata", c.Name))
 		})
+	}
+}
+
+// TestStaleIgnoreFixture runs the full registry over the staleignore
+// fixture and pins exactly which directives are reported stale: the
+// used ones are quiet, the no-op ones fire, the one naming staleignore
+// itself is exempt. A solo staleignore run must only report the
+// directive naming an unregistered checker — everything else is not
+// assessable until the named checkers have actually run.
+func TestStaleIgnoreFixture(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "staleignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckDir(dir, "crono/internal/analysis/testdata/staleignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := analysis.Run(loader.Fset(), []*analysis.Package{pkg},
+		analysis.Checkers(), analysis.DefaultConfig())
+	wantMsgs := []string{
+		"//crono:vet-ignore lockpair suppresses no findings; delete the stale directive",
+		"//crono:vet-ignore suppresses no findings; delete the stale directive",
+		"//crono:vet-ignore lockpairs suppresses no findings; delete the stale directive",
+	}
+	if len(diags) != len(wantMsgs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantMsgs), diags)
+	}
+	for i, d := range diags {
+		if d.Checker != "staleignore" {
+			t.Errorf("diag %d: checker %q, want staleignore (%s)", i, d.Checker, d)
+		}
+		if d.Message != wantMsgs[i] {
+			t.Errorf("diag %d: message %q, want %q", i, d.Message, wantMsgs[i])
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Line <= diags[i-1].Line {
+			t.Errorf("stale reports out of source order: line %d after %d", diags[i].Line, diags[i-1].Line)
+		}
+	}
+
+	solo := analysis.Run(loader.Fset(), []*analysis.Package{pkg},
+		[]*analysis.Checker{analysis.StaleIgnore}, analysis.DefaultConfig())
+	if len(solo) != 1 || !strings.Contains(solo[0].Message, "lockpairs") {
+		t.Fatalf("solo staleignore run = %v, want only the unregistered-name directive", solo)
 	}
 }
 
@@ -105,7 +166,7 @@ func TestIgnoreDirectiveNamed(t *testing.T) {
 	}
 }
 
-// TestCheckerRegistry pins the five shipped checkers and name lookup.
+// TestCheckerRegistry pins the seven shipped checkers and name lookup.
 func TestCheckerRegistry(t *testing.T) {
 	names := make(map[string]bool)
 	for _, c := range analysis.Checkers() {
@@ -117,7 +178,7 @@ func TestCheckerRegistry(t *testing.T) {
 		}
 		names[c.Name] = true
 	}
-	for _, want := range []string{"lockpair", "checkpointloop", "divergentbarrier", "simdeterminism", "rawaddr"} {
+	for _, want := range []string{"lockpair", "checkpointloop", "divergentbarrier", "simdeterminism", "rawaddr", "unguardedstore", "staleignore"} {
 		if !names[want] {
 			t.Errorf("registry missing checker %q", want)
 		}

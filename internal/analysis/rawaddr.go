@@ -10,15 +10,17 @@ import (
 // address.
 var addrMethods = map[string]bool{
 	"Load": true, "Store": true, "LoadSpan": true, "StoreSpan": true,
+	"AtomicLoad": true, "AtomicStore": true, "AtomicRMW": true,
 }
 
 // RawAddr enforces annotated addressing: the address handed to
-// Ctx.Load/Store/LoadSpan/StoreSpan must be derived from a Region
-// (Region.At, Region.Base plus offsets the platform placed), never a
-// hard-coded integer. A compile-time-constant address bypasses the
-// platform's placement and lands on whatever region happens to be
-// mapped there — silently corrupting the simulator's cache and home
-// tile attribution.
+// Ctx.Load/Store/LoadSpan/StoreSpan and the atomic annotations must be
+// derived from a Region (Region.At, Region.Base plus offsets the
+// platform placed), never a hard-coded integer. A compile-time-constant
+// address bypasses the platform's placement and lands on whatever
+// region happens to be mapped there — silently corrupting the
+// simulator's cache and home tile attribution, and leaving race and
+// trace reports unable to name the datum through the region registry.
 //
 // The check flags any address argument whose value the type checker
 // folds to an integer constant (literals, conversions of literals and
@@ -51,7 +53,7 @@ func runRawAddr(pass *Pass) {
 			}
 			arg := call.Args[0]
 			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
-				pass.Reportf(arg.Pos(), "constant address %s passed to Ctx.%s; derive addresses from Region.At so the platform controls placement", types.ExprString(arg), name)
+				pass.Reportf(arg.Pos(), "constant address %s passed to Ctx.%s; derive addresses from a named region (Platform.Alloc + Region.At) so the platform controls placement and reports can name the datum", types.ExprString(arg), name)
 			}
 			return true
 		})

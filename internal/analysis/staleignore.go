@@ -1,0 +1,75 @@
+package analysis
+
+import "strings"
+
+// StaleIgnore reports //crono:vet-ignore directives that suppressed
+// zero findings. Suppressions are load-bearing documentation ("this
+// finding is deliberate, here is why"); when the code they excused is
+// fixed or deleted the directive lingers and silently re-opens the hole
+// for the next regression. This checker closes the loop: run the suite,
+// and any directive that caught nothing is itself a finding.
+//
+// A directive is only assessed when the run could actually have used
+// it: a named directive is assessed when every registered checker it
+// names was selected, a bare directive only when the whole registry
+// ran. Names that match no registered checker can never suppress
+// anything, so they are assessed (and reported) unconditionally —
+// catching typos like "lockpairs". Directives naming staleignore itself
+// are never assessed, which makes a deliberate keep-alive expressible
+// as `//crono:vet-ignore staleignore` on the line above.
+//
+// The checker's logic lives in Run rather than here: staleness is only
+// knowable after the suppression pass, so the registered Run hook is a
+// no-op marker that selects the behavior.
+var StaleIgnore = &Checker{
+	Name: "staleignore",
+	Doc:  "//crono:vet-ignore directives must suppress at least one finding",
+	Run:  func(*Pass) {},
+}
+
+// reportStaleIgnores emits a diagnostic for every assessable directive
+// of the package that no finding consumed. ran lists the checkers that
+// actually executed this run.
+func reportStaleIgnores(pass *Pass, ignores ignoreSet, ran []*Checker) {
+	selected := make(map[string]bool, len(ran))
+	for _, c := range ran {
+		selected[c.Name] = true
+	}
+	registered := make(map[string]bool)
+	allSelected := true
+	for _, c := range Checkers() {
+		registered[c.Name] = true
+		if c.Name != StaleIgnore.Name && !selected[c.Name] {
+			allSelected = false
+		}
+	}
+	for _, byLine := range ignores {
+		for _, e := range byLine {
+			if e.used || !assessable(e, selected, registered, allSelected) {
+				continue
+			}
+			if e.all {
+				pass.Reportf(e.pos, "//%s suppresses no findings; delete the stale directive", ignoreDirective)
+			} else {
+				pass.Reportf(e.pos, "//%s %s suppresses no findings; delete the stale directive", ignoreDirective, strings.Join(e.names, " "))
+			}
+		}
+	}
+}
+
+// assessable reports whether this run is entitled to judge the
+// directive: every registered checker it could silence must have run.
+func assessable(e *ignoreEntry, selected, registered map[string]bool, allSelected bool) bool {
+	if e.all {
+		return allSelected
+	}
+	for _, n := range e.names {
+		if n == StaleIgnore.Name {
+			return false
+		}
+		if registered[n] && !selected[n] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,14 @@ func rawLiteral(ctx exec.Ctx) {
 	ctx.StoreSpan(0, 4, 8)            // want `constant address 0`
 }
 
+// rawAtomic annotates hard-coded addresses through the atomic methods,
+// which take logical addresses just like the plain ones.
+func rawAtomic(ctx exec.Ctx) {
+	ctx.AtomicLoad(64)             // want `constant address 64`
+	ctx.AtomicStore(exec.Addr(96)) // want `constant address exec\.Addr\(96\)`
+	ctx.AtomicRMW(hardCodedBase)   // want `constant address hardCodedBase`
+}
+
 // derived gets every address from the platform-placed region, which is
 // the contract.
 func derived(ctx exec.Ctx, r exec.Region) {
@@ -22,6 +30,9 @@ func derived(ctx exec.Ctx, r exec.Region) {
 	ctx.LoadSpan(r.At(8), 8, 4)
 	ctx.StoreSpan(r.Base, 4, 8)
 	ctx.Load(r.At(2) + exec.LineSize)
+	ctx.AtomicLoad(r.At(3))
+	ctx.AtomicStore(r.At(4))
+	ctx.AtomicRMW(r.At(5))
 }
 
 // computedOffset mixes a region address with runtime arithmetic; the

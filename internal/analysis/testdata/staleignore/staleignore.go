@@ -1,0 +1,43 @@
+// Package fixture exercises the staleignore checker. Directives that
+// suppress a real finding are used; directives that suppress nothing
+// are reported once every checker they could silence has run. The
+// expectations are asserted by TestStaleIgnoreFixture rather than want
+// comments: the diagnostic lands on the directive's own line, where a
+// want comment cannot also live.
+package fixture
+
+import "crono/internal/exec"
+
+// usedNamed suppresses a real lockpair finding: not stale.
+func usedNamed(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l) //crono:vet-ignore lockpair
+}
+
+// usedBare suppresses the same finding with a bare directive: not stale.
+func usedBare(ctx exec.Ctx, l exec.Lock) {
+	ctx.Lock(l) //crono:vet-ignore
+}
+
+// staleNamed has nothing for lockpair to suppress: stale once lockpair
+// has run.
+func staleNamed(ctx exec.Ctx) {
+	ctx.Compute(1) //crono:vet-ignore lockpair
+}
+
+// staleBare has nothing to suppress at all: stale once the whole
+// registry has run.
+func staleBare(ctx exec.Ctx) {
+	ctx.Compute(1) //crono:vet-ignore
+}
+
+// staleUnknown names a checker that does not exist, so it can never
+// suppress anything: always stale — the typo catcher.
+func staleUnknown(ctx exec.Ctx) {
+	ctx.Compute(1) //crono:vet-ignore lockpairs
+}
+
+// keptAlive is stale but deliberately kept; naming staleignore itself
+// opts the directive out of assessment.
+func keptAlive(ctx exec.Ctx) {
+	ctx.Compute(1) //crono:vet-ignore lockpair staleignore
+}

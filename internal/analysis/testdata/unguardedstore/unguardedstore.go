@@ -1,0 +1,106 @@
+// Package fixture exercises the unguardedstore checker.
+package fixture
+
+import "crono/internal/exec"
+
+// sharedSweep stores through an index that no thread owns: every thread
+// writes every element, with nothing ordering the writes.
+func sharedSweep(ctx exec.Ctx, r exec.Region, n int) {
+	for i := 0; i < n; i++ {
+		ctx.Store(r.At(i)) // want `unguarded`
+	}
+	ctx.Store(r.At(0))           // want `unguarded`
+	ctx.StoreSpan(r.At(0), n, 4) // want `unguarded`
+}
+
+// afterUnlock releases the lock before the store it was guarding.
+func afterUnlock(ctx exec.Ctx, r exec.Region, l exec.Lock) {
+	ctx.Lock(l)
+	ctx.Store(r.At(0))
+	ctx.Unlock(l)
+	ctx.Store(r.At(1)) // want `unguarded`
+}
+
+// tidOwned derives every stored index from the thread id: the classic
+// chunked sweep, per-thread slots and a span into the thread's window.
+func tidOwned(ctx exec.Ctx, r exec.Region, threads, n int) {
+	tid := ctx.TID()
+	lo, hi := chunk(tid, threads, n)
+	for v := lo; v < hi; v++ {
+		ctx.Store(r.At(v))
+	}
+	ctx.Store(r.At(tid))
+	ctx.StoreSpan(r.At(lo), hi-lo, 4)
+	ctx.Store(r.At(ctx.TID()))
+}
+
+// ownedRange taints the range KEY over a thread-owned slice, but not
+// the values: an element value names a vertex any thread may also be
+// touching, so using it as a store index is the remote-store shape.
+func ownedRange(ctx exec.Ctx, r exec.Region, work [][]int32, base int) {
+	mine := work[ctx.TID()]
+	for i := range mine {
+		ctx.Store(r.At(base + i))
+	}
+	for _, v := range mine {
+		ctx.Store(r.At(int(v))) // want `unguarded`
+	}
+}
+
+// underLock holds the guarding lock across the store, including the
+// per-element lock idiom.
+func underLock(ctx exec.Ctx, r exec.Region, l exec.Lock, locks []exec.Lock, targets []int32) {
+	ctx.Lock(l)
+	ctx.Store(r.At(3))
+	ctx.Unlock(l)
+	for _, u := range targets {
+		ctx.Lock(locks[u])
+		ctx.Store(r.At(int(u)))
+		ctx.Unlock(locks[u])
+	}
+}
+
+// capture claims an index under a lock and then works on that slice of
+// the shared array alone: lock-captured values are thread-owned.
+func capture(ctx exec.Ctx, r exec.Region, l exec.Lock, next *int, n int) {
+	ctx.Lock(l)
+	s := *next
+	*next = s + 1
+	ctx.Unlock(l)
+	if s >= n {
+		return
+	}
+	ctx.StoreSpan(r.At(s*n), n, 4)
+	ctx.Store(r.At(s))
+}
+
+// singleWriter stores inside branches only one thread enters.
+func singleWriter(ctx exec.Ctx, r exec.Region, threads, round int) {
+	tid := ctx.TID()
+	if tid == 0 {
+		ctx.Store(r.At(7))
+	}
+	if tid == threads-1 && round == 0 {
+		ctx.Store(r.At(8))
+	}
+	if tid == 1 {
+		ctx.Store(r.At(9))
+	} else {
+		ctx.Store(r.At(9)) // want `unguarded`
+	}
+}
+
+// justified is deliberately racy and says so; the suppression holds.
+func justified(ctx exec.Ctx, r exec.Region) {
+	ctx.Store(r.At(0)) //crono:vet-ignore unguardedstore
+}
+
+func chunk(tid, threads, n int) (int, int) {
+	per := (n + threads - 1) / threads
+	lo := tid * per
+	hi := lo + per
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

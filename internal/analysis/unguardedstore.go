@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnguardedStore flags Ctx.Store/StoreSpan annotations that look like
+// unsynchronized writes to shared state: no Ctx.Lock is held around the
+// store, the address is not derived from a thread-owned value, and the
+// store is not inside a single-writer branch. Under the annotation
+// contract every such store is a potential write-write race — the
+// dynamic detector (internal/racecheck) proves it on a concrete
+// schedule, this checker catches the shape before the kernel ever runs.
+//
+// The analysis is a per-function source-order approximation of index
+// ownership:
+//
+//   - positions derived from ctx.TID() are thread-owned: tid itself,
+//     chunk bounds computed from it (through arithmetic and calls like
+//     chunk(tid, ...)), loop variables initialized from them, and
+//     per-thread slots selected by indexing directly with tid;
+//   - values assigned while a Ctx.Lock is held are thread-owned too —
+//     the vertex-capture idiom, where a thread claims an index under a
+//     lock and then works on its slice of a shared array alone;
+//   - a branch guarded by `tid == K` (for owned tid and un-owned K) is
+//     single-writer: stores inside it cannot collide across threads.
+//
+// Ownership deliberately does NOT flow through memory reads: a value
+// ranged or indexed out of a container — even a container found through
+// an owned position, like a vertex's neighbor list — names a vertex any
+// thread may also be touching, which is exactly the remote-store shape
+// that needs a lock or an atomic. Code that is safe through a global
+// invariant the approximation cannot see (unique worklist entries,
+// deliberate benign races) carries a //crono:vet-ignore unguardedstore
+// with its justification.
+var UnguardedStore = &Checker{
+	Name: "unguardedstore",
+	Doc:  "Ctx.Store to a shared region needs a lock, a thread-owned index, or a single-writer guard",
+	Run:  runUnguardedStore,
+}
+
+func runUnguardedStore(pass *Pass) {
+	e := resolveExec(pass.Pkg.Types)
+	if e == nil {
+		return
+	}
+	for _, fn := range functions(pass.Pkg, e) {
+		// Platform Ctx implementations forward annotations by design;
+		// the invariant targets kernel-side call sites.
+		if fn.recvImplementsCtx {
+			continue
+		}
+		s := &storeScan{
+			pass: pass, e: e, info: pass.Pkg.Info,
+			owned: make(map[types.Object]bool),
+			tids:  make(map[types.Object]bool),
+		}
+		s.block(fn.body)
+	}
+}
+
+// storeScan walks one function body in source order carrying the flow
+// facts the check needs: the owned (thread-private) position set, the
+// variables holding the raw thread id, the current Ctx.Lock nesting
+// depth, and the single-writer branch depth.
+type storeScan struct {
+	pass *Pass
+	e    *execTypes
+	info *types.Info
+
+	owned        map[types.Object]bool
+	tids         map[types.Object]bool
+	lockDepth    int
+	singleWriter int
+}
+
+func (s *storeScan) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		s.stmt(st)
+	}
+}
+
+func (s *storeScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		s.block(st)
+	case *ast.ExprStmt:
+		s.expr(st.X)
+	case *ast.AssignStmt:
+		s.assign(st)
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			taint := s.lockDepth > 0
+			for _, v := range vs.Values {
+				if s.ownedValue(v) {
+					taint = true
+				}
+				s.expr(v)
+			}
+			if taint {
+				for _, id := range vs.Names {
+					s.taint(id)
+				}
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i, v := range vs.Values {
+					s.noteTID(vs.Names[i], v)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.expr(st.Cond)
+		if s.isSingleWriterGuard(st.Cond) {
+			s.singleWriter++
+			s.block(st.Body)
+			s.singleWriter--
+		} else {
+			s.block(st.Body)
+		}
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+		s.block(st.Body)
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		// Positions into an owned container are owned; the VALUES read
+		// out of it are memory contents and stay un-owned.
+		if st.Tok == token.DEFINE && s.ownedValue(st.X) {
+			if id, ok := st.Key.(*ast.Ident); ok {
+				s.taint(id)
+			}
+		}
+		s.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.expr(e)
+			}
+			for _, b := range cc.Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, b := range cc.Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				s.stmt(cc.Comm)
+			}
+			for _, b := range cc.Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		s.expr(st.Call)
+	case *ast.DeferStmt:
+		s.expr(st.Call)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	case *ast.SendStmt:
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	}
+}
+
+// assign taints the plain-identifier targets when any source is owned,
+// or when the assignment happens under a lock (the capture idiom), and
+// tracks which variables hold the raw thread id.
+func (s *storeScan) assign(st *ast.AssignStmt) {
+	taint := s.lockDepth > 0
+	for _, r := range st.Rhs {
+		if s.ownedValue(r) {
+			taint = true
+		}
+		s.expr(r)
+	}
+	if taint {
+		for _, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				s.taint(id)
+			}
+		}
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, r := range st.Rhs {
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				s.noteTID(id, r)
+			}
+		}
+	}
+}
+
+func (s *storeScan) taint(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	if obj := s.info.Defs[id]; obj != nil {
+		s.owned[obj] = true
+		return
+	}
+	if obj := s.info.Uses[id]; obj != nil {
+		s.owned[obj] = true
+	}
+}
+
+// noteTID marks id as holding the raw thread id when rhs is a direct
+// ctx.TID() call; such variables make `slots[tid]` a per-thread slot.
+func (s *storeScan) noteTID(id *ast.Ident, rhs ast.Expr) {
+	if id.Name == "_" {
+		return
+	}
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok || !s.e.isCtxCall(s.info, call, "TID") {
+		return
+	}
+	if obj := s.info.Defs[id]; obj != nil {
+		s.tids[obj] = true
+	} else if obj := s.info.Uses[id]; obj != nil {
+		s.tids[obj] = true
+	}
+}
+
+// expr scans an expression for Ctx calls: Lock/Unlock adjust the held
+// depth, Store/StoreSpan are checked against the current flow state.
+// Nested function literals are separate bodies and are not entered.
+func (s *storeScan) expr(x ast.Expr) {
+	if _, isLit := x.(*ast.FuncLit); isLit {
+		return
+	}
+	walkShallow(x, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := s.e.ctxMethod(s.info, call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock":
+			s.lockDepth++
+		case "Unlock":
+			if s.lockDepth > 0 {
+				s.lockDepth--
+			}
+		case "Store", "StoreSpan":
+			if len(call.Args) > 0 {
+				s.checkStore(call, name)
+			}
+		}
+		return true
+	})
+}
+
+func (s *storeScan) checkStore(call *ast.CallExpr, name string) {
+	if s.lockDepth > 0 || s.singleWriter > 0 {
+		return
+	}
+	if s.ownedValue(call.Args[0]) {
+		return
+	}
+	s.pass.Reportf(call.Pos(),
+		"Ctx.%s(%s) is unguarded: no lock held, no thread-owned index, no single-writer branch; synchronize it or justify with //crono:vet-ignore unguardedstore",
+		name, types.ExprString(call.Args[0]))
+}
+
+// ownedValue reports whether the expression denotes a thread-owned
+// position. Ownership flows through arithmetic, calls (chunk bounds,
+// Region.At on an owned region or index) and tid-indexed per-thread
+// slots — but never through reading memory: an element value of a
+// container is un-owned even when the container was found through an
+// owned position.
+func (s *storeScan) ownedValue(x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj := s.info.Uses[x]
+		return obj != nil && s.owned[obj]
+	case *ast.ParenExpr:
+		return s.ownedValue(x.X)
+	case *ast.UnaryExpr:
+		return s.ownedValue(x.X)
+	case *ast.StarExpr:
+		return s.ownedValue(x.X)
+	case *ast.BinaryExpr:
+		return s.ownedValue(x.X) || s.ownedValue(x.Y)
+	case *ast.CallExpr:
+		if s.e.isCtxCall(s.info, x, "TID") {
+			return true
+		}
+		for _, a := range x.Args {
+			if s.ownedValue(a) {
+				return true
+			}
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && s.ownedValue(sel.X) {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		return s.tidIndexed(x)
+	case *ast.SliceExpr:
+		if s.ownedValue(x.X) {
+			return true
+		}
+		for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+			if b != nil && s.ownedValue(b) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		return s.ownedValue(x.X)
+	}
+	return false
+}
+
+// tidIndexed matches the per-thread slot idiom: indexing a container
+// directly with the raw thread id (`slots[tid]`, `slots[ctx.TID()]`).
+func (s *storeScan) tidIndexed(x *ast.IndexExpr) bool {
+	switch idx := unparen(x.Index).(type) {
+	case *ast.Ident:
+		obj := s.info.Uses[idx]
+		return obj != nil && s.tids[obj]
+	case *ast.CallExpr:
+		return s.e.isCtxCall(s.info, idx, "TID")
+	}
+	return false
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+// isSingleWriterGuard matches branch conditions of the shape
+// `tid == K` (or `K == tid`, possibly among &&-conjuncts) where exactly
+// one side is thread-owned: every thread evaluates the condition, at
+// most one enters.
+func (s *storeScan) isSingleWriterGuard(cond ast.Expr) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return s.isSingleWriterGuard(c.X)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return s.isSingleWriterGuard(c.X) || s.isSingleWriterGuard(c.Y)
+		case token.EQL:
+			return s.ownedValue(c.X) != s.ownedValue(c.Y)
+		}
+	}
+	return false
+}

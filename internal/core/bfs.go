@@ -58,7 +58,7 @@ func BFS(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int
 		for {
 			changed[tid] = 0
 			for v := lo; v < hi; v++ {
-				ctx.Load(rLvl.At(v))
+				ctx.AtomicLoad(rLvl.At(v))
 				ctx.Compute(1)
 				if atomic.LoadInt32(&level[v]) != cur {
 					continue
@@ -67,16 +67,16 @@ func BFS(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&level[u]) != -1 {
 						continue
 					}
 					ctx.Lock(locks[u])
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					if atomic.LoadInt32(&level[u]) == -1 {
 						atomic.StoreInt32(&level[u], cur+1)
-						ctx.Store(rLvl.At(int(u)))
+						ctx.AtomicStore(rLvl.At(int(u)))
 						ctx.Active(1) // vertex joins the frontier
 						changed[tid] = 1
 					}

@@ -103,7 +103,7 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 			moved[tid] = 0
 			ctx.Active(hi - lo)
 			for v := lo; v < hi; v++ {
-				ctx.Load(rComm.At(v))
+				ctx.AtomicLoad(rComm.At(v))
 				cur := atomic.LoadInt32(&comm[v])
 				// Gather edge weight from v to each neighboring
 				// community.
@@ -114,7 +114,7 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
-					ctx.Load(rComm.At(int(u)))
+					ctx.AtomicLoad(rComm.At(int(u)))
 					ctx.Compute(1)
 					cu := atomic.LoadInt32(&comm[u])
 					if _, seen := nbrW[cu]; !seen {
@@ -126,14 +126,14 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 				// their locks — the paper's bounded heuristic tolerates
 				// this staleness by design.
 				kv := float64(k[v])
-				ctx.Load(rKtot.At(int(cur)))
+				ctx.AtomicLoad(rKtot.At(int(cur)))
 				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
 				best, bestGain := cur, stay
 				for _, c := range nbrC {
 					if c == cur {
 						continue
 					}
-					ctx.Load(rKtot.At(int(c)))
+					ctx.AtomicLoad(rKtot.At(int(c)))
 					ctx.Compute(2)
 					gain := float64(nbrW[c]) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
 					if gain > bestGain+communityEps {
@@ -148,14 +148,14 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 					}
 					ctx.Lock(locks[a])
 					ctx.Lock(locks[b])
-					ctx.Load(rKtot.At(int(cur)))
-					ctx.Load(rKtot.At(int(best)))
+					ctx.AtomicLoad(rKtot.At(int(cur)))
+					ctx.AtomicLoad(rKtot.At(int(best)))
 					atomic.AddInt64(&ktot[cur], -k[v])
 					atomic.AddInt64(&ktot[best], k[v])
-					ctx.Store(rKtot.At(int(cur)))
-					ctx.Store(rKtot.At(int(best)))
+					ctx.AtomicRMW(rKtot.At(int(cur)))
+					ctx.AtomicRMW(rKtot.At(int(best)))
 					atomic.StoreInt32(&comm[v], best)
-					ctx.Store(rComm.At(v))
+					ctx.AtomicStore(rComm.At(v))
 					ctx.Unlock(locks[b])
 					ctx.Unlock(locks[a])
 					moved[tid]++
@@ -170,12 +170,12 @@ func Community(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, m
 			// sequential reduction.
 			var localIn int64
 			for v := lo; v < hi; v++ {
-				ctx.Load(rComm.At(v))
+				ctx.AtomicLoad(rComm.At(v))
 				cv := atomic.LoadInt32(&comm[v])
 				ts, ws := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
-					ctx.Load(rComm.At(int(u)))
+					ctx.AtomicLoad(rComm.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&comm[u]) == cv {
 						localIn += int64(ws[e])

@@ -61,13 +61,13 @@ func ConnectedComponents(goCtx context.Context, pl exec.Platform, g *graph.CSR, 
 			changed[tid] = 0
 			swept := 0
 			for v := lo; v < hi; v++ {
-				ctx.Load(rLbl.At(v))
+				ctx.AtomicLoad(rLbl.At(v))
 				m := atomic.LoadInt32(&labels[v])
 				ctx.Load(rOff.At(v))
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLbl.At(int(u)))
+					ctx.AtomicLoad(rLbl.At(int(u)))
 					ctx.Compute(1)
 					if l := atomic.LoadInt32(&labels[u]); l < m {
 						m = l
@@ -75,10 +75,10 @@ func ConnectedComponents(goCtx context.Context, pl exec.Platform, g *graph.CSR, 
 				}
 				if m < atomic.LoadInt32(&labels[v]) {
 					ctx.Lock(locks[v])
-					ctx.Load(rLbl.At(v))
+					ctx.AtomicLoad(rLbl.At(v))
 					if m < atomic.LoadInt32(&labels[v]) {
 						atomic.StoreInt32(&labels[v], m)
-						ctx.Store(rLbl.At(v))
+						ctx.AtomicStore(rLbl.At(v))
 						changed[tid] = 1
 						ctx.Active(1) // label still settling
 						swept++

@@ -89,17 +89,17 @@ func DFS(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int
 				for e := len(ts) - 1; e >= 0; e-- {
 					u := ts[e]
 					ctx.Load(rTgt.At(int(g.Offsets[v]) + e))
-					ctx.Load(rVis.At(int(u)))
+					ctx.AtomicLoad(rVis.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&visited[u]) != 0 {
 						continue
 					}
 					ctx.Lock(locks[u])
-					ctx.Load(rVis.At(int(u)))
+					ctx.AtomicLoad(rVis.At(int(u)))
 					claimed := false
 					if atomic.LoadInt32(&visited[u]) == 0 {
 						atomic.StoreInt32(&visited[u], 1)
-						ctx.Store(rVis.At(int(u)))
+						ctx.AtomicStore(rVis.At(int(u)))
 						ctx.Active(1) // vertex joins the branch pool
 						claimed = true
 					}

@@ -141,7 +141,7 @@ func BFSFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, thr
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&level[u]) != -1 {
 						continue
@@ -149,7 +149,7 @@ func BFSFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, thr
 					// Lock-free claim: the CAS plays the role of the scan
 					// kernel's per-vertex atomic lock.
 					if atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
-						ctx.Store(rLvl.At(int(u)))
+						ctx.AtomicRMW(rLvl.At(int(u)))
 						found++
 						wl.push(tid, u)
 					}
@@ -236,14 +236,14 @@ func ComponentsFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, t
 			for i := lo; i < hi; i++ {
 				v := int(f[i])
 				atomic.StoreInt32(&mark[v], 0)
-				ctx.Store(rMark.At(v))
-				ctx.Load(rLbl.At(v))
+				ctx.AtomicStore(rMark.At(v))
+				ctx.AtomicLoad(rLbl.At(v))
 				lv := atomic.LoadInt32(&labels[v])
 				ctx.Load(rOff.At(v))
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLbl.At(int(u)))
+					ctx.AtomicLoad(rLbl.At(int(u)))
 					ctx.Compute(1)
 					for {
 						lu := atomic.LoadInt32(&labels[u])
@@ -251,9 +251,9 @@ func ComponentsFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, t
 							break
 						}
 						if atomic.CompareAndSwapInt32(&labels[u], lu, lv) {
-							ctx.Store(rLbl.At(int(u)))
+							ctx.AtomicRMW(rLbl.At(int(u)))
 							if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
-								ctx.Store(rMark.At(int(u)))
+								ctx.AtomicRMW(rMark.At(int(u)))
 								found++
 								wl.push(tid, u)
 							}

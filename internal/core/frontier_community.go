@@ -88,8 +88,8 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 			for i := lo; i < hi; i++ {
 				v := int(f[i])
 				atomic.StoreInt32(&mark[v], 0)
-				ctx.Store(rMark.At(v))
-				ctx.Load(rComm.At(v))
+				ctx.AtomicStore(rMark.At(v))
+				ctx.AtomicLoad(rComm.At(v))
 				cur := atomic.LoadInt32(&comm[v])
 				// Gather edge weight from v to each neighboring
 				// community. The worklist dedup guarantees a single
@@ -102,7 +102,7 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
-					ctx.Load(rComm.At(int(u)))
+					ctx.AtomicLoad(rComm.At(int(u)))
 					ctx.Compute(1)
 					cu := atomic.LoadInt32(&comm[u])
 					if _, seen := nbrW[cu]; !seen {
@@ -113,14 +113,14 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 				// Same bounded-heuristic gain rule as Community: totals
 				// are read without holding their locks.
 				kv := float64(k[v])
-				ctx.Load(rKtot.At(int(cur)))
+				ctx.AtomicLoad(rKtot.At(int(cur)))
 				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
 				best, bestGain := cur, stay
 				for _, c := range nbrC {
 					if c == cur {
 						continue
 					}
-					ctx.Load(rKtot.At(int(c)))
+					ctx.AtomicLoad(rKtot.At(int(c)))
 					ctx.Compute(2)
 					gain := float64(nbrW[c]) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
 					if gain > bestGain+communityEps {
@@ -134,27 +134,27 @@ func CommunityFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, th
 					}
 					ctx.Lock(locks[a])
 					ctx.Lock(locks[b])
-					ctx.Load(rKtot.At(int(cur)))
-					ctx.Load(rKtot.At(int(best)))
+					ctx.AtomicLoad(rKtot.At(int(cur)))
+					ctx.AtomicLoad(rKtot.At(int(best)))
 					atomic.AddInt64(&ktot[cur], -k[v])
 					atomic.AddInt64(&ktot[best], k[v])
-					ctx.Store(rKtot.At(int(cur)))
-					ctx.Store(rKtot.At(int(best)))
+					ctx.AtomicRMW(rKtot.At(int(cur)))
+					ctx.AtomicRMW(rKtot.At(int(best)))
 					atomic.StoreInt32(&comm[v], best)
-					ctx.Store(rComm.At(v))
+					ctx.AtomicStore(rComm.At(v))
 					ctx.Unlock(locks[b])
 					ctx.Unlock(locks[a])
 					// The move changes the landscape for v and its
 					// neighborhood: re-enqueue whoever is not already
 					// queued.
 					if atomic.CompareAndSwapInt32(&mark[v], 0, 1) {
-						ctx.Store(rMark.At(v))
+						ctx.AtomicRMW(rMark.At(v))
 						found++
 						wl.push(tid, int32(v))
 					}
 					for _, u := range ts {
 						if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
-							ctx.Store(rMark.At(int(u)))
+							ctx.AtomicRMW(rMark.At(int(u)))
 							found++
 							wl.push(tid, u)
 						}

@@ -65,7 +65,7 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 				ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
 				for i := lo; i < hi; i++ {
 					v := int(f[i])
-					ctx.Load(rDist.At(v))
+					ctx.AtomicLoad(rDist.At(v))
 					ctx.Compute(1)
 					if d := atomic.LoadInt32(&dist[v]); d < local {
 						local = d
@@ -111,7 +111,7 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
 			for i := lo; i < hi; i++ {
 				v := int(f[i])
-				ctx.Load(rDist.At(v))
+				ctx.AtomicLoad(rDist.At(v))
 				ctx.Compute(1)
 				dv := atomic.LoadInt32(&dist[v])
 				if dv >= end {
@@ -119,7 +119,7 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 					continue
 				}
 				atomic.StoreInt32(&exist[v], 0)
-				ctx.Store(rExist.At(v))
+				ctx.AtomicStore(rExist.At(v))
 				settled++
 				ctx.Load(rOff.At(v))
 				ts, ws := g.Neighbors(v)
@@ -127,7 +127,7 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
 					nd := dv + ws[e]
-					ctx.Load(rDist.At(int(u)))
+					ctx.AtomicLoad(rDist.At(int(u)))
 					ctx.Compute(1)
 					// Lock-free CAS-min relaxation replaces the scan
 					// kernel's racy-read-then-locked-recheck.
@@ -137,10 +137,10 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 							break
 						}
 						if atomic.CompareAndSwapInt32(&dist[u], old, nd) {
-							ctx.Store(rDist.At(int(u)))
+							ctx.AtomicRMW(rDist.At(int(u)))
 							relax[tid]++
 							if atomic.CompareAndSwapInt32(&exist[u], 0, 1) {
-								ctx.Store(rExist.At(int(u)))
+								ctx.AtomicRMW(rExist.At(int(u)))
 								marked++
 								wl.push(tid, u)
 							}

@@ -113,13 +113,13 @@ func BFSHybrid(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 					ts, _ := g.Neighbors(v)
 					ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 					for _, u := range ts {
-						ctx.Load(rLvl.At(int(u)))
+						ctx.AtomicLoad(rLvl.At(int(u)))
 						ctx.Compute(1)
 						if atomic.LoadInt32(&level[u]) != -1 {
 							continue
 						}
 						if atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
-							ctx.Store(rLvl.At(int(u)))
+							ctx.AtomicRMW(rLvl.At(int(u)))
 							found++
 							deg += int64(g.Degree(int(u)))
 							wl.push(tid, u)
@@ -136,7 +136,7 @@ func BFSHybrid(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 				flo, fhi := chunk(tid, threads, len(wl.frontier()))
 				lo, hi := chunk(tid, threads, n)
 				for v := lo; v < hi; v++ {
-					ctx.Load(rLvl.At(v))
+					ctx.AtomicLoad(rLvl.At(v))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&level[v]) != -1 {
 						continue
@@ -145,11 +145,11 @@ func BFSHybrid(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 					ts, _ := in.Neighbors(v)
 					for j, u := range ts {
 						ctx.Load(rInTgt.At(int(in.Offsets[v]) + j))
-						ctx.Load(rLvl.At(int(u)))
+						ctx.AtomicLoad(rLvl.At(int(u)))
 						ctx.Compute(1)
 						if atomic.LoadInt32(&level[u]) == cur {
 							atomic.StoreInt32(&level[v], cur+1)
-							ctx.Store(rLvl.At(v))
+							ctx.AtomicStore(rLvl.At(v))
 							found++
 							deg += int64(g.Degree(v))
 							wl.push(tid, int32(v))
@@ -259,16 +259,16 @@ func ComponentsAfforest(goCtx context.Context, pl exec.Platform, g *graph.CSR, t
 	// which is always a valid, smaller id) but stay atomic for soundness.
 	findRoot := func(ctx exec.Ctx, x int32) int32 {
 		for {
-			ctx.Load(rPar.At(int(x)))
+			ctx.AtomicLoad(rPar.At(int(x)))
 			p := atomic.LoadInt32(&parent[x])
 			if p == x {
 				return x
 			}
-			ctx.Load(rPar.At(int(p)))
+			ctx.AtomicLoad(rPar.At(int(p)))
 			gp := atomic.LoadInt32(&parent[p])
 			if gp != p {
 				atomic.StoreInt32(&parent[x], gp)
-				ctx.Store(rPar.At(int(x)))
+				ctx.AtomicStore(rPar.At(int(x)))
 			}
 			x = p
 		}
@@ -288,7 +288,7 @@ func ComponentsAfforest(goCtx context.Context, pl exec.Platform, g *graph.CSR, t
 			}
 			ctx.Compute(1)
 			if atomic.CompareAndSwapInt32(&parent[q], q, p) {
-				ctx.Store(rPar.At(int(q)))
+				ctx.AtomicRMW(rPar.At(int(q)))
 				return
 			}
 		}
@@ -384,7 +384,7 @@ func ComponentsAfforest(goCtx context.Context, pl exec.Platform, g *graph.CSR, t
 		for v := lo; v < hi; v++ {
 			root := findRoot(ctx, int32(v))
 			atomic.StoreInt32(&parent[v], root)
-			ctx.Store(rPar.At(v))
+			ctx.AtomicStore(rPar.At(v))
 		}
 	})
 	if err != nil {

@@ -154,13 +154,13 @@ func BFSIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, 
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&level[u]) != -1 {
 						continue
 					}
 					if atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
-						ctx.Store(rLvl.At(int(u)))
+						ctx.AtomicRMW(rLvl.At(int(u)))
 						found++
 						wl.push(tid, u)
 					}
@@ -277,14 +277,14 @@ func ComponentsIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR
 			for i := lo; i < hi; i++ {
 				v := int(f[i])
 				atomic.StoreInt32(&mark[v], 0)
-				ctx.Store(rMark.At(v))
-				ctx.Load(rLbl.At(v))
+				ctx.AtomicStore(rMark.At(v))
+				ctx.AtomicLoad(rLbl.At(v))
 				lv := atomic.LoadInt32(&labels[v])
 				ctx.Load(rOff.At(v))
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLbl.At(int(u)))
+					ctx.AtomicLoad(rLbl.At(int(u)))
 					ctx.Compute(1)
 					for {
 						lu := atomic.LoadInt32(&labels[u])
@@ -292,9 +292,9 @@ func ComponentsIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR
 							break
 						}
 						if atomic.CompareAndSwapInt32(&labels[u], lu, lv) {
-							ctx.Store(rLbl.At(int(u)))
+							ctx.AtomicRMW(rLbl.At(int(u)))
 							if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
-								ctx.Store(rMark.At(int(u)))
+								ctx.AtomicRMW(rMark.At(int(u)))
 								found++
 								wl.push(tid, u)
 							}
@@ -452,8 +452,8 @@ func CommunityIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR,
 			for i := lo; i < hi; i++ {
 				v := int(f[i])
 				atomic.StoreInt32(&mark[v], 0)
-				ctx.Store(rMark.At(v))
-				ctx.Load(rComm.At(v))
+				ctx.AtomicStore(rMark.At(v))
+				ctx.AtomicLoad(rComm.At(v))
 				cur := atomic.LoadInt32(&comm[v])
 				clear(nbrW)
 				nbrC = nbrC[:0]
@@ -462,7 +462,7 @@ func CommunityIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR,
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
-					ctx.Load(rComm.At(int(u)))
+					ctx.AtomicLoad(rComm.At(int(u)))
 					ctx.Compute(1)
 					cu := atomic.LoadInt32(&comm[u])
 					if _, seen := nbrW[cu]; !seen {
@@ -471,14 +471,14 @@ func CommunityIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR,
 					nbrW[cu] += int64(ws[e])
 				}
 				kv := float64(k[v])
-				ctx.Load(rKtot.At(int(cur)))
+				ctx.AtomicLoad(rKtot.At(int(cur)))
 				stay := float64(nbrW[cur]) - float64(atomic.LoadInt64(&ktot[cur])-k[v])*kv/m2
 				best, bestGain := cur, stay
 				for _, c := range nbrC {
 					if c == cur {
 						continue
 					}
-					ctx.Load(rKtot.At(int(c)))
+					ctx.AtomicLoad(rKtot.At(int(c)))
 					ctx.Compute(2)
 					gain := float64(nbrW[c]) - float64(atomic.LoadInt64(&ktot[c]))*kv/m2
 					if gain > bestGain+communityEps {
@@ -492,24 +492,24 @@ func CommunityIncremental(goCtx context.Context, pl exec.Platform, g *graph.CSR,
 					}
 					ctx.Lock(locks[a])
 					ctx.Lock(locks[b])
-					ctx.Load(rKtot.At(int(cur)))
-					ctx.Load(rKtot.At(int(best)))
+					ctx.AtomicLoad(rKtot.At(int(cur)))
+					ctx.AtomicLoad(rKtot.At(int(best)))
 					atomic.AddInt64(&ktot[cur], -k[v])
 					atomic.AddInt64(&ktot[best], k[v])
-					ctx.Store(rKtot.At(int(cur)))
-					ctx.Store(rKtot.At(int(best)))
+					ctx.AtomicRMW(rKtot.At(int(cur)))
+					ctx.AtomicRMW(rKtot.At(int(best)))
 					atomic.StoreInt32(&comm[v], best)
-					ctx.Store(rComm.At(v))
+					ctx.AtomicStore(rComm.At(v))
 					ctx.Unlock(locks[b])
 					ctx.Unlock(locks[a])
 					if atomic.CompareAndSwapInt32(&mark[v], 0, 1) {
-						ctx.Store(rMark.At(v))
+						ctx.AtomicRMW(rMark.At(v))
 						found++
 						wl.push(tid, int32(v))
 					}
 					for _, u := range ts {
 						if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
-							ctx.Store(rMark.At(int(u)))
+							ctx.AtomicRMW(rMark.At(int(u)))
 							found++
 							wl.push(tid, u)
 						}

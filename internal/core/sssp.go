@@ -68,12 +68,12 @@ func SSSP(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads in
 			// distance among marked vertices).
 			local := graph.Inf
 			for v := lo; v < hi; v++ {
-				ctx.Load(rExist.At(v))
+				ctx.AtomicLoad(rExist.At(v))
 				ctx.Compute(1)
 				if atomic.LoadInt32(&exist[v]) == 0 {
 					continue
 				}
-				ctx.Load(rDist.At(v))
+				ctx.AtomicLoad(rDist.At(v))
 				if d := atomic.LoadInt32(&dist[v]); d < local {
 					local = d
 				}
@@ -102,18 +102,18 @@ func SSSP(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads in
 			}
 			// Phase 2: settle and expand the front.
 			for v := lo; v < hi; v++ {
-				ctx.Load(rExist.At(v))
+				ctx.AtomicLoad(rExist.At(v))
 				ctx.Compute(1)
 				if atomic.LoadInt32(&exist[v]) == 0 {
 					continue
 				}
-				ctx.Load(rDist.At(v))
+				ctx.AtomicLoad(rDist.At(v))
 				dv := atomic.LoadInt32(&dist[v])
 				if dv != gmin {
 					continue
 				}
 				atomic.StoreInt32(&exist[v], 0)
-				ctx.Store(rExist.At(v))
+				ctx.AtomicStore(rExist.At(v))
 				ctx.Active(-1) // vertex settled, leaves the front pool
 				ctx.Load(rOff.At(v))
 				ts, ws := g.Neighbors(v)
@@ -121,7 +121,7 @@ func SSSP(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads in
 				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 				for e, u := range ts {
 					nd := dv + ws[e]
-					ctx.Load(rDist.At(int(u)))
+					ctx.AtomicLoad(rDist.At(int(u)))
 					ctx.Compute(1)
 					// Optimistic unlocked check, as in the paper's
 					// racy-read-then-locked-recheck pattern.
@@ -129,15 +129,15 @@ func SSSP(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads in
 						continue
 					}
 					ctx.Lock(locks[u])
-					ctx.Load(rDist.At(int(u)))
+					ctx.AtomicLoad(rDist.At(int(u)))
 					if nd < atomic.LoadInt32(&dist[u]) {
 						atomic.StoreInt32(&dist[u], nd)
-						ctx.Store(rDist.At(int(u)))
+						ctx.AtomicStore(rDist.At(int(u)))
 						relax[tid]++
 						if atomic.SwapInt32(&exist[u], 1) == 0 {
 							ctx.Active(1) // vertex joins the front pool
 						}
-						ctx.Store(rExist.At(int(u)))
+						ctx.AtomicRMW(rExist.At(int(u)))
 					}
 					ctx.Unlock(locks[u])
 				}

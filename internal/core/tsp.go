@@ -68,7 +68,7 @@ func TSP(goCtx context.Context, pl exec.Platform, cities *graph.Dense, threads i
 	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
 		tid := ctx.TID()
 		localBound := atomic.LoadInt32(&globalBound)
-		ctx.Load(rBound.At(0))
+		ctx.AtomicLoad(rBound.At(0))
 		visited := make([]bool, n)
 		path := make([]int32, 1, n)
 		path[0] = 0
@@ -92,7 +92,7 @@ func TSP(goCtx context.Context, pl exec.Platform, cities *graph.Dense, threads i
 					aborted = true
 					return
 				}
-				ctx.Load(rBound.At(0))
+				ctx.AtomicLoad(rBound.At(0))
 				if b := atomic.LoadInt32(&globalBound); b < localBound {
 					localBound = b
 				}
@@ -104,10 +104,10 @@ func TSP(goCtx context.Context, pl exec.Platform, cities *graph.Dense, threads i
 				if total < localBound {
 					localBound = total
 					ctx.Lock(boundLock)
-					ctx.Load(rBound.At(0))
+					ctx.AtomicLoad(rBound.At(0))
 					if total < atomic.LoadInt32(&globalBound) {
 						atomic.StoreInt32(&globalBound, total)
-						ctx.Store(rBound.At(0))
+						ctx.AtomicStore(rBound.At(0))
 						copy(bestTour, path)
 						for i := range path {
 							ctx.Store(rTour.At(i))

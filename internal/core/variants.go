@@ -72,12 +72,12 @@ func SSSPDelta(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 			// Find the next band start among marked vertices.
 			local := graph.Inf
 			for v := lo; v < hi; v++ {
-				ctx.Load(rExist.At(v))
+				ctx.AtomicLoad(rExist.At(v))
 				ctx.Compute(1)
 				if atomic.LoadInt32(&exist[v]) == 0 {
 					continue
 				}
-				ctx.Load(rDist.At(v))
+				ctx.AtomicLoad(rDist.At(v))
 				if d := atomic.LoadInt32(&dist[v]); d < local {
 					local = d
 				}
@@ -116,18 +116,18 @@ func SSSPDelta(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 					rounds++
 				}
 				for v := lo; v < hi; v++ {
-					ctx.Load(rExist.At(v))
+					ctx.AtomicLoad(rExist.At(v))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&exist[v]) == 0 {
 						continue
 					}
-					ctx.Load(rDist.At(v))
+					ctx.AtomicLoad(rDist.At(v))
 					dv := atomic.LoadInt32(&dist[v])
 					if dv >= end {
 						continue
 					}
 					atomic.StoreInt32(&exist[v], 0)
-					ctx.Store(rExist.At(v))
+					ctx.AtomicStore(rExist.At(v))
 					ctx.Active(-1)
 					ctx.Load(rOff.At(v))
 					ts, ws := g.Neighbors(v)
@@ -135,21 +135,21 @@ func SSSPDelta(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threa
 					ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
 					for e, u := range ts {
 						nd := dv + ws[e]
-						ctx.Load(rDist.At(int(u)))
+						ctx.AtomicLoad(rDist.At(int(u)))
 						ctx.Compute(1)
 						if nd >= atomic.LoadInt32(&dist[u]) {
 							continue
 						}
 						ctx.Lock(locks[u])
-						ctx.Load(rDist.At(int(u)))
+						ctx.AtomicLoad(rDist.At(int(u)))
 						if nd < atomic.LoadInt32(&dist[u]) {
 							atomic.StoreInt32(&dist[u], nd)
-							ctx.Store(rDist.At(int(u)))
+							ctx.AtomicStore(rDist.At(int(u)))
 							relax[tid]++
 							if atomic.SwapInt32(&exist[u], 1) == 0 {
 								ctx.Active(1)
 							}
-							ctx.Store(rExist.At(int(u)))
+							ctx.AtomicRMW(rExist.At(int(u)))
 							if nd < end {
 								changed[tid] = 1
 							}
@@ -237,7 +237,7 @@ func BFSTarget(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, targe
 			}
 			changed[tid] = 0
 			for v := lo; v < hi; v++ {
-				ctx.Load(rLvl.At(v))
+				ctx.AtomicLoad(rLvl.At(v))
 				ctx.Compute(1)
 				if atomic.LoadInt32(&level[v]) != cur {
 					continue
@@ -246,16 +246,16 @@ func BFSTarget(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, targe
 				ts, _ := g.Neighbors(v)
 				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
 				for _, u := range ts {
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					ctx.Compute(1)
 					if atomic.LoadInt32(&level[u]) != -1 {
 						continue
 					}
 					ctx.Lock(locks[u])
-					ctx.Load(rLvl.At(int(u)))
+					ctx.AtomicLoad(rLvl.At(int(u)))
 					if atomic.LoadInt32(&level[u]) == -1 {
 						atomic.StoreInt32(&level[u], cur+1)
-						ctx.Store(rLvl.At(int(u)))
+						ctx.AtomicStore(rLvl.At(int(u)))
 						ctx.Active(1)
 						changed[tid] = 1
 					}

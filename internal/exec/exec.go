@@ -60,8 +60,8 @@ type Barrier any
 // Ctx is the per-thread execution context handed to a kernel body.
 //
 // Instruction accounting (feeds the paper's Variability metric, Eq. 2):
-// Load, Store, Lock and Unlock each count as one instruction and Compute(n)
-// counts as n instructions.
+// Load, Store, AtomicLoad, AtomicStore, AtomicRMW, Lock and Unlock each
+// count as one instruction and Compute(n) counts as n instructions.
 type Ctx interface {
 	// TID returns this thread's index in [0, Threads()).
 	TID() int
@@ -71,6 +71,22 @@ type Ctx interface {
 	Load(addr Addr)
 	// Store annotates a write of the datum at addr.
 	Store(addr Addr)
+	// AtomicLoad annotates an atomic read of the datum at addr (a
+	// sync/atomic load in the real computation). Timing and instruction
+	// accounting are identical to Load; the distinction exists for
+	// synchronization-aware tooling: an atomic load is an acquire — it
+	// observes every atomic write to the same address — so crono-race
+	// treats it as ordered after those writes instead of racing them.
+	AtomicLoad(addr Addr)
+	// AtomicStore annotates an atomic write of the datum at addr, as
+	// AtomicLoad for Store. An atomic store is a release.
+	AtomicStore(addr Addr)
+	// AtomicRMW annotates an atomic read-modify-write of the datum at
+	// addr (a successful CompareAndSwap, Add or Swap). It is an
+	// acquire-release and counts as a write. Kernels annotate only
+	// successful CAS claims, matching the convention that a failed
+	// attempt leaves no architectural store to model.
+	AtomicRMW(addr Addr)
 	// LoadSpan annotates a sequential read of elems contiguous elements
 	// of elemSize bytes starting at addr (e.g. scanning a neighbor
 	// list). It is semantically identical to elems Load calls; the

@@ -1,0 +1,45 @@
+package exec
+
+import "testing"
+
+func TestRegionTableResolve(t *testing.T) {
+	var tab RegionTable
+	// Registered out of address order on purpose.
+	tab.Add(Region{Name: "b.targets", Base: 640, ElemSize: 4, Elems: 10})
+	tab.Add(Region{Name: "a.level", Base: 64, ElemSize: 4, Elems: 16})
+
+	r, elem, ok := tab.Resolve(64 + 4*7)
+	if !ok || r.Name != "a.level" || elem != 7 {
+		t.Fatalf("Resolve(a.level[7]) = %q[%d] ok=%v", r.Name, elem, ok)
+	}
+	r, elem, ok = tab.Resolve(640)
+	if !ok || r.Name != "b.targets" || elem != 0 {
+		t.Fatalf("Resolve(b.targets[0]) = %q[%d] ok=%v", r.Name, elem, ok)
+	}
+	// Mid-element addresses resolve to the element they fall in.
+	if _, elem, ok = tab.Resolve(64 + 4*7 + 2); !ok || elem != 7 {
+		t.Fatalf("mid-element Resolve = [%d] ok=%v", elem, ok)
+	}
+	// Gaps and the space before the first region resolve to nothing.
+	if _, _, ok = tab.Resolve(0); ok {
+		t.Fatal("address 0 should not resolve")
+	}
+	if _, _, ok = tab.Resolve(64 + 4*16); ok {
+		t.Fatal("address one past a.level should not resolve")
+	}
+
+	if got := tab.Describe(640 + 4*3); got != "b.targets[3]" {
+		t.Fatalf("Describe = %q", got)
+	}
+	if got := tab.Describe(7); got != "0x7" {
+		t.Fatalf("Describe(unowned) = %q", got)
+	}
+}
+
+func TestRegionTableZeroElemSize(t *testing.T) {
+	var tab RegionTable
+	tab.Add(Region{Name: "weird", Base: 64, ElemSize: 0, Elems: 0})
+	if _, _, ok := tab.Resolve(64); ok {
+		t.Fatal("zero-elem-size region must not resolve (division guard)")
+	}
+}

@@ -139,6 +139,13 @@ func (c *ctx) Load(exec.Addr)  { c.st.instr++ }
 func (c *ctx) Store(exec.Addr) { c.st.instr++ }
 func (c *ctx) Compute(n int)   { c.st.instr += uint64(n) }
 
+// Atomic annotations cost exactly what their plain counterparts do
+// natively: one instruction. The acquire/release semantics only matter
+// to synchronization-aware platforms (internal/racecheck).
+func (c *ctx) AtomicLoad(exec.Addr)  { c.st.instr++ }
+func (c *ctx) AtomicStore(exec.Addr) { c.st.instr++ }
+func (c *ctx) AtomicRMW(exec.Addr)   { c.st.instr++ }
+
 func (c *ctx) LoadSpan(_ exec.Addr, elems, _ int) {
 	if elems > 0 {
 		c.st.instr += uint64(elems)

@@ -1,0 +1,293 @@
+package racecheck
+
+import (
+	"context"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"crono/internal/exec"
+	"crono/internal/native"
+	"crono/internal/racecheck/testdata/racykernels"
+)
+
+var siteRe = regexp.MustCompile(`^racykernels\.go:\d+$`)
+
+// pinRaces checks everything about the reports except the fixture line
+// numbers, which would make every fixture edit a golden churn: exact
+// location (region + element), access kinds, thread ids, and that each
+// site points into the fixture file.
+func pinRaces(t *testing.T, got []Race, want []Race) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d races, want %d:\n%s", len(got), len(want), formatRaces(got))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Location != w.Location {
+			t.Errorf("race %d: location %q, want %q", i, g.Location, w.Location)
+		}
+		if g.Prior.Kind != w.Prior.Kind || g.Current.Kind != w.Current.Kind {
+			t.Errorf("race %d: kinds %q/%q, want %q/%q", i, g.Prior.Kind, g.Current.Kind, w.Prior.Kind, w.Current.Kind)
+		}
+		if g.Prior.TID != w.Prior.TID || g.Current.TID != w.Current.TID {
+			t.Errorf("race %d: tids T%d/T%d, want T%d/T%d", i, g.Prior.TID, g.Current.TID, w.Prior.TID, w.Current.TID)
+		}
+		if !siteRe.MatchString(g.Prior.Site) || !siteRe.MatchString(g.Current.Site) {
+			t.Errorf("race %d: sites %q/%q do not point into racykernels.go", i, g.Prior.Site, g.Current.Site)
+		}
+	}
+}
+
+func formatRaces(rs []Race) string {
+	s := ""
+	for _, r := range rs {
+		s += r.String() + "\n"
+	}
+	return s
+}
+
+func TestSharedCounterGolden(t *testing.T) {
+	pl := New()
+	_, _, err := racykernels.SharedCounter(pl, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin at 2 threads yields exactly three deduplicated pairs
+	// on the counter word: the unlocked increment races read-vs-write,
+	// write-vs-write and write-vs-read.
+	pinRaces(t, pl.Races(), []Race{
+		{Location: "racy.counter[0]", Prior: RaceAccess{TID: 1, Kind: "write"}, Current: RaceAccess{TID: 0, Kind: "read"}},
+		{Location: "racy.counter[0]", Prior: RaceAccess{TID: 1, Kind: "read"}, Current: RaceAccess{TID: 0, Kind: "write"}},
+		{Location: "racy.counter[0]", Prior: RaceAccess{TID: 0, Kind: "write"}, Current: RaceAccess{TID: 1, Kind: "write"}},
+	})
+}
+
+func TestMissingBarrierGolden(t *testing.T) {
+	pl := New()
+	_, _, err := racykernels.MissingBarrier(pl, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cross-chunk read races with the owner's initializing write;
+	// locations enumerate every element of the array.
+	pinRaces(t, pl.Races(), []Race{
+		{Location: "racy.data[0]", Prior: RaceAccess{TID: 0, Kind: "write"}, Current: RaceAccess{TID: 1, Kind: "read"}},
+		{Location: "racy.data[1]", Prior: RaceAccess{TID: 0, Kind: "write"}, Current: RaceAccess{TID: 1, Kind: "read"}},
+		{Location: "racy.data[2]", Prior: RaceAccess{TID: 1, Kind: "write"}, Current: RaceAccess{TID: 0, Kind: "read"}},
+		{Location: "racy.data[3]", Prior: RaceAccess{TID: 1, Kind: "write"}, Current: RaceAccess{TID: 0, Kind: "read"}},
+	})
+}
+
+func TestFixedFixturesReportNothing(t *testing.T) {
+	pl := New()
+	if _, _, err := racykernels.FixedCounter(pl, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := racykernels.FixedBarrier(pl, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if races := pl.Races(); len(races) != 0 {
+		t.Fatalf("fixed fixtures reported races:\n%s", formatRaces(races))
+	}
+}
+
+func TestFixtureResultsCorrectUnderScheduler(t *testing.T) {
+	pl := New()
+	got, _, err := racykernels.FixedCounter(pl, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("locked counter = %d, want 15", got)
+	}
+	out, _, err := racykernels.FixedBarrier(pl, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != int32(i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() ([]Race, []uint64) {
+		pl := New()
+		_, rep, err := racykernels.SharedCounter(pl, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.Races(), rep.Instructions
+	}
+	r1, i1 := run()
+	r2, i2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports differ between identical runs:\n%s\nvs\n%s", formatRaces(r1), formatRaces(r2))
+	}
+	if !reflect.DeepEqual(i1, i2) {
+		t.Fatalf("instruction counts differ: %v vs %v", i1, i2)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	pl := New()
+	a, b := pl.NewLock(), pl.NewLock()
+	_, err := pl.RunCtx(context.Background(), 2, func(ctx exec.Ctx) {
+		first, second := a, b
+		if ctx.TID() == 1 {
+			first, second = b, a
+		}
+		ctx.Lock(first)
+		ctx.Compute(1)
+		ctx.Lock(second)
+		ctx.Unlock(second)
+		ctx.Unlock(first)
+	})
+	if err == nil {
+		t.Fatal("lock-order inversion did not report a deadlock")
+	}
+}
+
+// TestBarrierAbortNoPhantomRaces cancels a run while threads sit at a
+// barrier. The abort releases the waiters without the barrier's clock
+// join; the detector must stop recording instead of reporting the
+// unwinding threads' accesses as races.
+func TestBarrierAbortNoPhantomRaces(t *testing.T) {
+	pl := New()
+	n := 8
+	data := make([]int32, n)
+	r := pl.Alloc("abort.data", n, 4)
+	bar := pl.NewBarrier(2)
+	goCtx, cancel := context.WithCancel(context.Background())
+	_, err := pl.RunCtx(goCtx, 2, func(ctx exec.Ctx) {
+		tid := ctx.TID()
+		for round := 0; ; round++ {
+			for i := tid * 4; i < tid*4+4; i++ {
+				data[i] = int32(round)
+				ctx.Store(r.At(i))
+			}
+			ctx.Barrier(bar)
+			if tid == 0 && round == 1 {
+				cancel()
+			}
+			if ctx.Checkpoint() != nil {
+				// Unwind touching the *other* thread's chunk: ordered
+				// only if the detector wrongly joined an aborted
+				// barrier, racy otherwise — either way it must not be
+				// reported after the abort.
+				other := (1 - tid) * 4
+				ctx.Load(r.At(other))
+				return
+			}
+			ctx.Barrier(bar)
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if races := pl.Races(); len(races) != 0 {
+		t.Fatalf("aborted run reported phantom races:\n%s", formatRaces(races))
+	}
+}
+
+// TestWrapAbortNoPhantomRaces is the same contract for the proxy mode
+// over the native platform, where the inner barrier does the blocking.
+func TestWrapAbortNoPhantomRaces(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		ck := Wrap(native.New())
+		n := 8
+		data := make([]int32, n)
+		r := ck.Alloc("abort.data", n, 4)
+		bar := ck.NewBarrier(2)
+		goCtx, cancel := context.WithCancel(context.Background())
+		_, err := ck.RunCtx(goCtx, 2, func(ctx exec.Ctx) {
+			tid := ctx.TID()
+			for round := 0; ; round++ {
+				for i := tid * 4; i < tid*4+4; i++ {
+					data[i] = int32(round)
+					ctx.Store(r.At(i))
+				}
+				ctx.Barrier(bar)
+				if tid == 0 && round == 1 {
+					cancel()
+				}
+				if ctx.Checkpoint() != nil {
+					return
+				}
+				ctx.Barrier(bar)
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+		}
+		if races := ck.Races(); len(races) != 0 {
+			t.Fatalf("aborted wrapped run reported phantom races:\n%s", formatRaces(races))
+		}
+	}
+}
+
+func TestWrapNameAndRegions(t *testing.T) {
+	ck := Wrap(native.New())
+	if ck.Name() != "racecheck+native" {
+		t.Fatalf("Name() = %q", ck.Name())
+	}
+	r := ck.Alloc("w.data", 4, 8)
+	if got := ck.Table().Describe(r.At(2)); got != "w.data[2]" {
+		t.Fatalf("Describe = %q, want w.data[2]", got)
+	}
+}
+
+func TestStandaloneReportShape(t *testing.T) {
+	pl := New()
+	if pl.Name() != "racecheck" {
+		t.Fatalf("Name() = %q", pl.Name())
+	}
+	r := pl.Alloc("shape.data", 8, 4)
+	rep := pl.Run(3, func(ctx exec.Ctx) {
+		ctx.Compute(2)
+		ctx.Load(r.At(ctx.TID()))
+	})
+	if rep.Threads != 3 || len(rep.Instructions) != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for t2, in := range rep.Instructions {
+		if in != 3 {
+			t.Fatalf("thread %d instructions = %d, want 3", t2, in)
+		}
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{
+		Location: "bfs.level[3]",
+		Prior:    RaceAccess{TID: 0, Kind: "write", Site: "bfs.go:70"},
+		Current:  RaceAccess{TID: 1, Kind: "read", Site: "bfs.go:80"},
+	}
+	want := "race on bfs.level[3]: read by T1 at bfs.go:80 unordered with write by T0 at bfs.go:70"
+	if got := r.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMaxRacesCap(t *testing.T) {
+	pl := New()
+	n := 4 * (defaultMaxRaces + 50)
+	data := make([]int32, n)
+	r := pl.Alloc("cap.data", n, 4)
+	_, err := pl.RunCtx(context.Background(), 2, func(ctx exec.Ctx) {
+		// Every element write-write races: distinct addresses, so dedup
+		// does not collapse them and the cap must.
+		for i := 0; i < n; i++ {
+			data[i] = int32(ctx.TID())
+			ctx.Store(r.At(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pl.Races()); got != defaultMaxRaces {
+		t.Fatalf("recorded %d races, want cap %d", got, defaultMaxRaces)
+	}
+}

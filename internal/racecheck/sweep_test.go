@@ -1,0 +1,88 @@
+package racecheck
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"crono/internal/core"
+	"crono/internal/graph"
+)
+
+// sweepCase is one cell of the zero-race pin matrix.
+type sweepCase struct {
+	bench    core.Benchmark
+	strategy core.Strategy
+	kind     graph.Kind
+	threads  int
+}
+
+// sweepCases enumerates every shipped kernel × strategy × generator ×
+// thread-count cell checked for freedom from annotation-level races.
+// Strategy-less kernels (matrix, cities and the variants) run once per
+// generator cell; graph-division kernels run under all three
+// strategies. Inputs are tiny — the deterministic scheduler yields at
+// every annotation, so cost scales with annotation count, and a race in
+// the access pattern shows up at any size.
+func sweepCases() []sweepCase {
+	kinds := []graph.Kind{graph.KindSparse, graph.KindRoadTX}
+	strategies := []core.Strategy{core.StrategyScan, core.StrategyFrontier, core.StrategyHybrid}
+	threadCounts := []int{2, 3}
+	var cases []sweepCase
+	for _, b := range core.Suite() {
+		strats := strategies
+		if b.UsesMatrix || b.UsesCities {
+			strats = strategies[:1]
+		}
+		for _, s := range strats {
+			for _, k := range kinds {
+				for _, th := range threadCounts {
+					cases = append(cases, sweepCase{b, s, k, th})
+				}
+			}
+		}
+	}
+	// Variants are single-strategy kernels: one strategy column each.
+	for _, b := range core.Variants() {
+		for _, k := range kinds {
+			for _, th := range threadCounts {
+				cases = append(cases, sweepCase{b, core.StrategyScan, k, th})
+			}
+		}
+	}
+	return cases
+}
+
+// TestKernelSweepZeroRaces pins the absence of annotation-level races
+// across the shipped kernels on the deterministic platform. A failure
+// here means either a kernel regression (an annotation lost its lock or
+// barrier ordering) or a detector regression (a phantom race).
+func TestKernelSweepZeroRaces(t *testing.T) {
+	for _, tc := range sweepCases() {
+		tc := tc
+		name := fmt.Sprintf("%s/%s/%s/t%d", tc.bench.Name, tc.strategy, tc.kind, tc.threads)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pl := New()
+			req := core.Request{
+				Threads:  tc.threads,
+				Strategy: tc.strategy,
+			}
+			req.G = graph.Generate(tc.kind, 40, 1)
+			req.Source = 0
+			req.Target = req.G.N - 1
+			switch {
+			case tc.bench.UsesMatrix:
+				req.D = graph.DenseFromCSR(graph.Generate(tc.kind, 12, 1))
+			case tc.bench.UsesCities:
+				req.Cities = graph.Cities(7, 3)
+			}
+			if _, err := tc.bench.Run(context.Background(), pl, req); err != nil {
+				t.Fatal(err)
+			}
+			if races := pl.Races(); len(races) != 0 {
+				t.Fatalf("kernel reported %d races:\n%s", len(races), formatRaces(races))
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Package racykernels holds deliberately buggy kernels used as
+// racecheck fixtures. Each kernel annotates a synchronization mistake
+// the detector must catch; the golden tests pin the exact reports.
+//
+// The kernels are only ever run on the standalone racecheck platform:
+// its cooperative scheduler serializes the threads, so the Go-level
+// accesses below are NOT real data races under `go test -race` — only
+// the annotation stream is racy.
+package racykernels
+
+import (
+	"context"
+
+	"crono/internal/exec"
+)
+
+// SharedCounter increments one shared counter from every thread with
+// plain annotations and no lock: the classic unlocked read-modify-write.
+// Every pair of threads races on counter[0] with read/write and
+// write/write conflicts.
+func SharedCounter(pl exec.Platform, threads, incs int) (int, *exec.Report, error) {
+	counter := 0
+	r := pl.Alloc("racy.counter", 1, 8)
+	rep, err := pl.RunCtx(context.Background(), threads, func(ctx exec.Ctx) {
+		for i := 0; i < incs; i++ {
+			ctx.Load(r.At(0))
+			v := counter
+			ctx.Compute(1)
+			ctx.Store(r.At(0))
+			counter = v + 1
+		}
+	})
+	return counter, rep, err
+}
+
+// MissingBarrier writes per-thread chunks of a shared array and then
+// reads the next thread's chunk without an intervening barrier: the
+// classic forgotten phase separation. Every cross-chunk read races with
+// the owning thread's initializing write.
+func MissingBarrier(pl exec.Platform, threads, perThread int) ([]int32, *exec.Report, error) {
+	n := threads * perThread
+	data := make([]int32, n)
+	out := make([]int32, n)
+	r := pl.Alloc("racy.data", n, 4)
+	rep, err := pl.RunCtx(context.Background(), threads, func(ctx exec.Ctx) {
+		tid := ctx.TID()
+		lo := tid * perThread
+		for i := 0; i < perThread; i++ {
+			data[lo+i] = int32(lo + i)
+			ctx.Store(r.At(lo + i))
+		}
+		// BUG: a ctx.Barrier belongs here.
+		nlo := ((tid + 1) % threads) * perThread
+		for i := 0; i < perThread; i++ {
+			ctx.Load(r.At(nlo + i))
+			out[nlo+i] = data[nlo+i]
+		}
+	})
+	return out, rep, err
+}
+
+// FixedCounter is SharedCounter with the lock it was missing; the
+// detector must report nothing for it.
+func FixedCounter(pl exec.Platform, threads, incs int) (int, *exec.Report, error) {
+	counter := 0
+	r := pl.Alloc("fixed.counter", 1, 8)
+	l := pl.NewLock()
+	rep, err := pl.RunCtx(context.Background(), threads, func(ctx exec.Ctx) {
+		for i := 0; i < incs; i++ {
+			ctx.Lock(l)
+			ctx.Load(r.At(0))
+			v := counter
+			ctx.Compute(1)
+			ctx.Store(r.At(0))
+			counter = v + 1
+			ctx.Unlock(l)
+		}
+	})
+	return counter, rep, err
+}
+
+// FixedBarrier is MissingBarrier with the barrier restored; the
+// detector must report nothing for it.
+func FixedBarrier(pl exec.Platform, threads, perThread int) ([]int32, *exec.Report, error) {
+	n := threads * perThread
+	data := make([]int32, n)
+	out := make([]int32, n)
+	r := pl.Alloc("fixed.data", n, 4)
+	bar := pl.NewBarrier(threads)
+	rep, err := pl.RunCtx(context.Background(), threads, func(ctx exec.Ctx) {
+		tid := ctx.TID()
+		lo := tid * perThread
+		for i := 0; i < perThread; i++ {
+			data[lo+i] = int32(lo + i)
+			ctx.Store(r.At(lo + i))
+		}
+		ctx.Barrier(bar)
+		nlo := ((tid + 1) % threads) * perThread
+		for i := 0; i < perThread; i++ {
+			ctx.Load(r.At(nlo + i))
+			out[nlo+i] = data[nlo+i]
+		}
+	})
+	return out, rep, err
+}

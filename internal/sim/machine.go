@@ -472,6 +472,15 @@ func (c *ctx) Compute(n int) {
 func (c *ctx) Load(a exec.Addr)  { c.access(a, false) }
 func (c *ctx) Store(a exec.Addr) { c.access(a, true) }
 
+// Atomic annotations run the same timing model as their plain
+// counterparts: the paper's machine serializes atomics at the L2 home
+// tile exactly like ordinary coherence transactions, so an atomic load
+// costs a load and an atomic store or RMW costs a store. The
+// distinction feeds synchronization-aware tooling only.
+func (c *ctx) AtomicLoad(a exec.Addr)  { c.access(a, false) }
+func (c *ctx) AtomicStore(a exec.Addr) { c.access(a, true) }
+func (c *ctx) AtomicRMW(a exec.Addr)   { c.access(a, true) }
+
 // LoadSpan implements exec.Ctx: one full cache transaction per touched
 // line, plus single-cycle L1 hits for the remaining elements — exactly
 // what per-element Load calls produce for a sequential scan, but without

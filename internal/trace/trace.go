@@ -32,6 +32,12 @@ const (
 	opUnlock
 	opBarrier
 	opActive
+	opAtomicLoad
+	opAtomicStore
+	opAtomicRMW
+
+	// opMax is the highest valid op code; Read rejects anything above it.
+	opMax = opAtomicRMW
 )
 
 // magic identifies a trace file.
@@ -134,6 +140,21 @@ func (c *recCtx) Store(a exec.Addr) {
 	c.Ctx.Store(a)
 }
 
+func (c *recCtx) AtomicLoad(a exec.Addr) {
+	c.emit(opAtomicLoad, a, 0)
+	c.Ctx.AtomicLoad(a)
+}
+
+func (c *recCtx) AtomicStore(a exec.Addr) {
+	c.emit(opAtomicStore, a, 0)
+	c.Ctx.AtomicStore(a)
+}
+
+func (c *recCtx) AtomicRMW(a exec.Addr) {
+	c.emit(opAtomicRMW, a, 0)
+	c.Ctx.AtomicRMW(a)
+}
+
 func (c *recCtx) LoadSpan(a exec.Addr, elems, elemSize int) {
 	c.emit(opLoadSpan, a, uint64(elems)<<32|uint64(uint32(elemSize)))
 	c.Ctx.LoadSpan(a, elems, elemSize)
@@ -229,11 +250,13 @@ func Replay(pl exec.Platform, tr *Trace) (*exec.Report, error) {
 			case opLoad:
 				ctx.Load(rec.a)
 			case opStore:
-				ctx.Store(rec.a)
+				// Replay forwards recorded annotations verbatim; any
+				// ordering was the traced kernel's responsibility.
+				ctx.Store(rec.a) //crono:vet-ignore unguardedstore
 			case opLoadSpan:
 				ctx.LoadSpan(rec.a, int(rec.b>>32), int(uint32(rec.b)))
 			case opStoreSpan:
-				ctx.StoreSpan(rec.a, int(rec.b>>32), int(uint32(rec.b)))
+				ctx.StoreSpan(rec.a, int(rec.b>>32), int(uint32(rec.b))) //crono:vet-ignore unguardedstore
 			case opCompute:
 				ctx.Compute(int(rec.a))
 			case opLock:
@@ -251,6 +274,12 @@ func Replay(pl exec.Platform, tr *Trace) (*exec.Report, error) {
 				ctx.Barrier(bars[rec.a])
 			case opActive:
 				ctx.Active(int(int64(rec.a)))
+			case opAtomicLoad:
+				ctx.AtomicLoad(rec.a)
+			case opAtomicStore:
+				ctx.AtomicStore(rec.a)
+			case opAtomicRMW:
+				ctx.AtomicRMW(rec.a)
 			}
 		}
 	})
@@ -402,7 +431,7 @@ func Read(r io.Reader) (*Trace, error) {
 			if err != nil {
 				return nil, err
 			}
-			if op < opLoad || op > opActive {
+			if op < opLoad || op > opMax {
 				return nil, fmt.Errorf("trace: bad op %d", op)
 			}
 			a, err := readU64()
