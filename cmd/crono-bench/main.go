@@ -18,6 +18,8 @@
 //
 //	crono-bench                            # default native spec matrix
 //	crono-bench -spec BFS:road-ca:1048576 -assert BFS:road-ca:2.0
+//	crono-bench -assert PageRank:social:degree:1.2
+//	crono-bench -assertallocs BFS:social:0
 //	crono-bench -mode sim -hostthreads 8   # sharded-vs-serial simulator
 //	crono-bench -mode sim -assert BFS:sparse:1.2
 //	crono-bench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -25,13 +27,25 @@
 // Each -spec entry is kernel:graph:n; each -assert entry is
 // kernel:graph:minSpeedup or kernel:graph:column:minSpeedup, where
 // column names the speedup to floor — "frontier" (the default for the
-// three-field form), "hybrid" (scan vs hybrid) or "batched" (sequential
-// single-source runs vs one bit-parallel pass, native BFS only) — and
-// must name a spec that ran (in sim mode the assertion is checked
-// against the scan-strategy result and only the three-field form is
-// meaningful). Sim-mode
-// speedups depend on host parallelism: a single-CPU host runs the
-// simulated cores one at a time, so sharding the memory-system lock
+// three-field form), "hybrid" (scan vs hybrid), "batched" (sequential
+// single-source runs vs one bit-parallel pass, native BFS only),
+// "degree"/"rcm" (the kernel's fast strategy unordered vs on the
+// reordered CSR, host wall-clock), "degreesim"/"rcmsim" (the same
+// head-to-head in deterministic simulated cycles on the futuristic
+// multicore — the noise-immune columns CI floors ordering wins on) or
+// "autodelta" (SSSP_DIJK frontier with the fixed default band width vs
+// the auto-tuned one) — and must name a spec that ran (in sim mode the
+// assertion is checked against the scan-strategy result and only the
+// three-field form is meaningful).
+//
+// Native mode also measures the warm-path allocation discipline: for the
+// scratch-aware kernels it reruns the fast strategy on the reusable
+// platform with a reused core.Scratch and records allocs/op and
+// bytes/op after warm-up. Each -assertallocs entry is
+// kernel:graph:maxAllocsPerOp (0 = the zero-allocation gate).
+//
+// Sim-mode speedups depend on host parallelism: a single-CPU host runs
+// the simulated cores one at a time, so sharding the memory-system lock
 // cannot beat ~1x there. The artifact records hostCPUs so readers can
 // judge the number.
 package main
@@ -46,6 +60,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"crono/internal/core"
@@ -60,7 +75,10 @@ import (
 // social-graph BFS entry is where the hybrid direction switch and the
 // bit-parallel batched kernel show their wins: small-world frontiers
 // overlap, which is exactly what both exploit.
-const defaultSpec = "BFS:road-ca:1048576,BFS:social:65536,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768"
+// PageRank:social is the ordering showcase: pull-mode PageRank gathers
+// over the in-edges of every vertex, so hub packing (degree ordering)
+// concentrates the hot rank entries on few cache lines.
+const defaultSpec = "BFS:road-ca:1048576,BFS:social:65536,SSSP_DIJK:road-ca:131072,CONN_COMP:road-ca:262144,COMM:social:32768,PageRank:social:131072"
 
 // defaultSimSpec keeps the simulator runs small enough for CI: the
 // detailed memory-system model costs ~1000x native execution per
@@ -93,6 +111,47 @@ type benchResult struct {
 	BatchedSeqNs   uint64  `json:"batchedSeqNs,omitempty"`
 	BatchedNs      uint64  `json:"batchedNs,omitempty"`
 	BatchedSpeedup float64 `json:"batchedSpeedup,omitempty"`
+	// The ordering columns time the kernel's fast strategy (frontier, or
+	// hybrid for PageRank — recorded in OrderBase) on pre-reordered CSRs;
+	// the reorder itself is preprocessing and is not timed. Speedups are
+	// the unordered fast-strategy time over the ordered time, so > 1
+	// means the cache-aware layout pays for the same work. Present only
+	// for orderable kernels.
+	OrderBase     string  `json:"orderBase,omitempty"`
+	DegreeNs      uint64  `json:"degreeNs,omitempty"`
+	DegreeSpeedup float64 `json:"degreeSpeedup,omitempty"`
+	RCMNs         uint64  `json:"rcmNs,omitempty"`
+	RCMSpeedup    float64 `json:"rcmSpeedup,omitempty"`
+	// The sim ordering columns repeat the head-to-head on the simulated
+	// futuristic multicore (sim.Default, 16 threads) at OrderSimN
+	// vertices (the spec's n capped at simOrderN to bound simulation
+	// cost). Cycle counts come from the deterministic timing model, so
+	// unlike the wall-clock columns they are immune to host load and
+	// frequency drift — this is where CI pins ordering floors. The small
+	// per-core caches of the paper's target machine also make them the
+	// honest locality measurement: reorderings exist for exactly that
+	// regime.
+	OrderSimN        int     `json:"orderSimN,omitempty"`
+	SimBaseCycles    uint64  `json:"simBaseCycles,omitempty"`
+	DegreeSimCycles  uint64  `json:"degreeSimCycles,omitempty"`
+	DegreeSimSpeedup float64 `json:"degreeSimSpeedup,omitempty"`
+	RCMSimCycles     uint64  `json:"rcmSimCycles,omitempty"`
+	RCMSimSpeedup    float64 `json:"rcmSimSpeedup,omitempty"`
+	// The auto-delta columns (SSSP_DIJK only) compare the frontier
+	// strategy under the fixed DefaultSSSPDelta band width against the
+	// auto-tuned width (Delta unset). FrontierNs already runs auto-tuned;
+	// FixedDeltaNs is the explicit-default rerun, and AutoDeltaSpeedup is
+	// fixed over auto.
+	FixedDeltaNs     uint64  `json:"fixedDeltaNs,omitempty"`
+	AutoDeltaSpeedup float64 `json:"autoDeltaSpeedup,omitempty"`
+	// The warm columns measure the steady-state allocation discipline of
+	// the fast strategy on the reusable platform with a reused scratch:
+	// allocations and bytes per run after warm-up (testing.AllocsPerRun /
+	// MemStats.TotalAlloc deltas). Present only for the scratch-aware
+	// kernels; WarmMeasured distinguishes a true zero from absent.
+	WarmMeasured    bool    `json:"warmMeasured,omitempty"`
+	WarmAllocsPerOp float64 `json:"warmAllocsPerOp,omitempty"`
+	WarmBytesPerOp  uint64  `json:"warmBytesPerOp,omitempty"`
 }
 
 type benchReport struct {
@@ -151,17 +210,29 @@ type assertion struct {
 	kernel string
 	graph  string
 	// column selects which speedup the floor applies to: "frontier"
-	// (scan/frontier, the three-field default), "hybrid" (scan/hybrid)
-	// or "batched" (sequential/bit-parallel, BFS only).
+	// (scan/frontier, the three-field default), "hybrid" (scan/hybrid),
+	// "batched" (sequential/bit-parallel, BFS only), "degree"/"rcm"
+	// (unordered/ordered fast strategy, wall-clock), "degreesim"/"rcmsim"
+	// (the same in deterministic simulated cycles) or "autodelta"
+	// (fixed/auto SSSP band width).
 	column string
 	min    float64
+}
+
+// allocAssertion is one -assertallocs entry: the warm fast-path run of
+// the named spec must allocate at most max allocations per op.
+type allocAssertion struct {
+	kernel string
+	graph  string
+	max    float64
 }
 
 func main() {
 	var (
 		mode        = flag.String("mode", "native", `benchmark mode: "native" (scan vs frontier) or "sim" (sharded vs serialized simulator memory system)`)
 		specFlag    = flag.String("spec", defaultSpec, "comma-separated kernel:graph:n entries to time")
-		assertFlag  = flag.String("assert", "", "comma-separated kernel:graph:minSpeedup entries that must hold")
+		assertFlag  = flag.String("assert", "", "comma-separated kernel:graph:minSpeedup or kernel:graph:column:minSpeedup entries that must hold")
+		allocsFlag  = flag.String("assertallocs", "", "comma-separated kernel:graph:maxAllocsPerOp entries the warm fast path must not exceed (native mode)")
 		threads     = flag.Int("threads", 8, "native mode: thread count for both strategies")
 		hostThreads = flag.Int("hostthreads", 8, "sim mode: GOMAXPROCS while simulating")
 		simCores    = flag.Int("simcores", 64, "sim mode: simulated core count (perfect square)")
@@ -192,6 +263,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	allocAsserts, err := parseAllocAsserts(*allocsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(allocAsserts) > 0 && *mode != "native" {
+		fatal(fmt.Errorf("-assertallocs only applies to native mode"))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -206,7 +284,7 @@ func main() {
 	var failed bool
 	switch *mode {
 	case "native":
-		failed, err = runNative(specs, asserts, *threads, *reps, *seed, *out)
+		failed, err = runNative(specs, asserts, allocAsserts, *threads, *reps, *seed, *out)
 	case "sim":
 		failed, err = runSim(specs, asserts, *hostThreads, *simCores, *reps, *seed, *out)
 	default:
@@ -231,7 +309,7 @@ func main() {
 
 // runNative times scan vs frontier on the native platform and reports
 // whether any assertion failed.
-func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64, out string) (bool, error) {
+func runNative(specs []spec, asserts []assertion, allocAsserts []allocAssertion, threads, reps int, seed int64, out string) (bool, error) {
 	rep := benchReport{
 		Suite:    "crono-bench",
 		Platform: "native",
@@ -274,6 +352,100 @@ func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64,
 		r.HybridSpeedup = speedup(scanNs, hybridNs)
 		fmt.Fprintf(os.Stderr, "  scan %d ns, frontier %d ns (%.2fx), hybrid %d ns (%.2fx)\n",
 			scanNs, frontierNs, r.Speedup, hybridNs, r.HybridSpeedup)
+		if core.Orderable(sp.kernel) {
+			st, _ := fastStrategy(sp.kernel, frontierNs, hybridNs)
+			r.OrderBase = string(st)
+			// Interleaved head-to-head: the unordered baseline is re-timed
+			// alongside the ordered arms rather than reusing the strategy
+			// sweep's number from minutes earlier.
+			reqs := []core.Request{{Input: core.Input{G: g}, Threads: threads, Strategy: st}}
+			for _, o := range graph.Orders() {
+				ro, err := graph.Reorder(g, o)
+				if err != nil {
+					return false, fmt.Errorf("%s/%s reorder %s: %w", sp.kernel, sp.graph, o, err)
+				}
+				reqs = append(reqs, core.Request{
+					Input: core.Input{G: g}, Threads: threads, Strategy: st, Reorder: ro,
+				})
+			}
+			times, err := timeInterleaved(ctx, bench, reps, reqs)
+			if err != nil {
+				return false, fmt.Errorf("%s/%s orderings: %w", sp.kernel, sp.graph, err)
+			}
+			baseNs := times[0]
+			for i, o := range graph.Orders() {
+				ns := times[i+1]
+				switch o {
+				case graph.OrderDegree:
+					r.DegreeNs, r.DegreeSpeedup = ns, speedup(baseNs, ns)
+				case graph.OrderRCM:
+					r.RCMNs, r.RCMSpeedup = ns, speedup(baseNs, ns)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  %s base %d ns, degree %d ns (%.2fx), rcm %d ns (%.2fx)\n",
+				r.OrderBase, baseNs, r.DegreeNs, r.DegreeSpeedup, r.RCMNs, r.RCMSpeedup)
+
+			// Deterministic replay of the head-to-head on the simulated
+			// machine; one rep is enough, the cycle counts are stable.
+			nSim := sp.n
+			if nSim > simOrderN {
+				nSim = simOrderN
+			}
+			gs := g
+			if nSim != sp.n {
+				gs = graph.Generate(graph.Kind(sp.graph), nSim, seed)
+			}
+			r.OrderSimN = nSim
+			if r.SimBaseCycles, err = simOrderCycles(ctx, bench, gs, st, nil); err != nil {
+				return false, fmt.Errorf("%s/%s sim base: %w", sp.kernel, sp.graph, err)
+			}
+			for _, o := range graph.Orders() {
+				ro, err := graph.Reorder(gs, o)
+				if err != nil {
+					return false, fmt.Errorf("%s/%s sim reorder %s: %w", sp.kernel, sp.graph, o, err)
+				}
+				cycles, err := simOrderCycles(ctx, bench, gs, st, ro)
+				if err != nil {
+					return false, fmt.Errorf("%s/%s sim order %s: %w", sp.kernel, sp.graph, o, err)
+				}
+				switch o {
+				case graph.OrderDegree:
+					r.DegreeSimCycles, r.DegreeSimSpeedup = cycles, speedup(r.SimBaseCycles, cycles)
+				case graph.OrderRCM:
+					r.RCMSimCycles, r.RCMSimSpeedup = cycles, speedup(r.SimBaseCycles, cycles)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  sim n=%d base %d cyc, degree %d cyc (%.2fx), rcm %d cyc (%.2fx)\n",
+				nSim, r.SimBaseCycles, r.DegreeSimCycles, r.DegreeSimSpeedup, r.RCMSimCycles, r.RCMSimSpeedup)
+		}
+		if sp.kernel == "SSSP_DIJK" {
+			// Head-to-head: the fixed default band width against the
+			// auto-tuned one (Delta unset), reps interleaved.
+			times, err := timeInterleaved(ctx, bench, reps, []core.Request{
+				{Input: core.Input{G: g}, Threads: threads,
+					Strategy: core.StrategyFrontier, Delta: core.DefaultSSSPDelta},
+				{Input: core.Input{G: g}, Threads: threads,
+					Strategy: core.StrategyFrontier},
+			})
+			if err != nil {
+				return false, fmt.Errorf("%s/%s delta sweep: %w", sp.kernel, sp.graph, err)
+			}
+			fixedNs, autoNs := times[0], times[1]
+			r.FixedDeltaNs = fixedNs
+			r.AutoDeltaSpeedup = speedup(fixedNs, autoNs)
+			fmt.Fprintf(os.Stderr, "  fixed delta %d ns, auto delta %d ns (%.2fx, width %d)\n",
+				fixedNs, autoNs, r.AutoDeltaSpeedup, core.AutoSSSPDelta(g))
+		}
+		if st, ok := warmStrategy(sp.kernel); ok {
+			allocs, bytes, err := measureWarm(ctx, bench, g, st, threads)
+			if err != nil {
+				return false, fmt.Errorf("%s/%s warm: %w", sp.kernel, sp.graph, err)
+			}
+			r.WarmMeasured = true
+			r.WarmAllocsPerOp = allocs
+			r.WarmBytesPerOp = bytes
+			fmt.Fprintf(os.Stderr, "  warm %s: %.1f allocs/op, %d bytes/op\n", st, allocs, bytes)
+		}
 		if sp.kernel == "BFS" && g.N >= core.BFSBatchWidth {
 			seqNs, batchNs, err := timeBatched(ctx, g, threads, reps)
 			if err != nil {
@@ -300,7 +472,43 @@ func runNative(specs []spec, asserts []assertion, threads, reps int, seed int64,
 		}
 		failed = checkAssert(a, got) || failed
 	}
+	for _, a := range allocAsserts {
+		got, ok := findWarmAllocs(rep.Results, a.kernel, a.graph)
+		if !ok {
+			return false, fmt.Errorf("assertallocs %s:%s names a spec without a warm measurement", a.kernel, a.graph)
+		}
+		if got > a.max {
+			fmt.Fprintf(os.Stderr, "ASSERT FAILED: %s on %s warm path %.1f allocs/op > allowed %.1f\n",
+				a.kernel, a.graph, got, a.max)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "assert ok: %s on %s warm path %.1f allocs/op <= %.1f\n",
+				a.kernel, a.graph, got, a.max)
+		}
+	}
 	return failed, nil
+}
+
+// fastStrategy picks the strategy the ordering columns time: hybrid for
+// PageRank (the pull kernel is its fast path), frontier for everything
+// else, together with that strategy's unordered baseline time.
+func fastStrategy(kernel string, frontierNs, hybridNs uint64) (core.Strategy, uint64) {
+	if kernel == "PageRank" {
+		return core.StrategyHybrid, hybridNs
+	}
+	return core.StrategyFrontier, frontierNs
+}
+
+// warmStrategy names the fast strategy with a scratch-aware zero-alloc
+// path, if the kernel has one.
+func warmStrategy(kernel string) (core.Strategy, bool) {
+	switch kernel {
+	case "BFS", "SSSP_DIJK", "CONN_COMP":
+		return core.StrategyFrontier, true
+	case "PageRank", "PAGERANK_PULL":
+		return core.StrategyHybrid, true
+	}
+	return "", false
 }
 
 // runSim times the sharded simulator memory system against the
@@ -413,16 +621,25 @@ func speedup(baseNs, contenderNs uint64) float64 {
 // parallel-region time — the paper's completion-time metric, which
 // excludes graph generation and result post-processing.
 func timeStrategy(ctx context.Context, bench core.Benchmark, g *graph.CSR, st core.Strategy, threads, reps int) (uint64, error) {
+	return timeRun(ctx, bench, reps, core.Request{
+		Input:    core.Input{G: g},
+		Threads:  threads,
+		Strategy: st,
+	})
+}
+
+// timeRun is timeStrategy for a fully specified request (reorderings,
+// explicit band widths). Best-of-reps parallel-region time; for
+// reordered requests the permutation build and the result un-permute are
+// outside the parallel region and thus untimed, exactly like result
+// post-processing everywhere else.
+func timeRun(ctx context.Context, bench core.Benchmark, reps int, req core.Request) (uint64, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	var best uint64
 	for i := 0; i < reps; i++ {
-		res, err := bench.Run(ctx, native.New(), core.Request{
-			Input:    core.Input{G: g},
-			Threads:  threads,
-			Strategy: st,
-		})
+		res, err := bench.Run(ctx, native.New(), req)
 		if err != nil {
 			return 0, err
 		}
@@ -431,6 +648,93 @@ func timeStrategy(ctx context.Context, bench core.Benchmark, g *graph.CSR, st co
 		}
 	}
 	return best, nil
+}
+
+// simOrderN caps the vertex count of the simulated ordering head-to-head:
+// the detailed memory-system model costs ~1000x native execution, and the
+// locality effect is already fully visible at this scale.
+const simOrderN = 16384
+
+// simOrderCycles runs one deterministic rep of the kernel on the default
+// simulated machine and returns the modeled completion time in cycles.
+func simOrderCycles(ctx context.Context, bench core.Benchmark, g *graph.CSR, st core.Strategy, ro *graph.Reordered) (uint64, error) {
+	m, err := sim.New(sim.Default())
+	if err != nil {
+		return 0, err
+	}
+	res, err := bench.Run(ctx, m, core.Request{
+		Input: core.Input{G: g}, Threads: 16, Strategy: st, Reorder: ro,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Report.Time, nil
+}
+
+// timeInterleaved times several request variants round-robin — one rep of
+// each, then the next rep of each — and returns the best-of-reps time per
+// variant. Head-to-head columns (unordered vs degree vs rcm, fixed vs
+// auto delta) use this instead of timing each arm as its own block:
+// host-load and frequency drift over a minutes-long bench then hits every
+// arm alike instead of biasing whichever ran last.
+func timeInterleaved(ctx context.Context, bench core.Benchmark, reps int, reqs []core.Request) ([]uint64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := make([]uint64, len(reqs))
+	for i := 0; i < reps; i++ {
+		for j, req := range reqs {
+			res, err := bench.Run(ctx, native.New(), req)
+			if err != nil {
+				return nil, err
+			}
+			if t := res.Report.Time; i == 0 || t < best[j] {
+				best[j] = t
+			}
+		}
+	}
+	return best, nil
+}
+
+// measureWarm measures the steady-state allocation cost of the kernel's
+// fast strategy: a reusable platform plus a reused scratch, three
+// warm-up runs to grow every buffer, then allocs/op via
+// testing.AllocsPerRun and bytes/op via the MemStats.TotalAlloc delta
+// over ten runs.
+func measureWarm(ctx context.Context, bench core.Benchmark, g *graph.CSR, st core.Strategy, threads int) (float64, uint64, error) {
+	g.InCSR() // the pull kernels' transpose is preprocessing, not per-run cost
+	pl := native.NewReusable()
+	defer pl.Close()
+	req := core.Request{
+		Input:    core.Input{G: g},
+		Threads:  threads,
+		Strategy: st,
+		Scratch:  core.NewScratch(),
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := bench.Run(ctx, pl, req); err != nil {
+			return 0, 0, err
+		}
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := bench.Run(ctx, pl, req); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	const bytesReps = 10
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < bytesReps; i++ {
+		if _, err := bench.Run(ctx, pl, req); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return allocs, (m1.TotalAlloc - m0.TotalAlloc) / bytesReps, nil
 }
 
 // timeBatched times BFSBatchWidth evenly spaced sources two ways: one
@@ -548,8 +852,10 @@ func parseAsserts(s string) ([]assertion, error) {
 		case 3:
 		case 4:
 			column = f[2]
-			if column != "frontier" && column != "hybrid" && column != "batched" {
-				return nil, fmt.Errorf("assert %q: unknown column %q (want frontier, hybrid or batched)", part, column)
+			switch column {
+			case "frontier", "hybrid", "batched", "degree", "rcm", "degreesim", "rcmsim", "autodelta":
+			default:
+				return nil, fmt.Errorf("assert %q: unknown column %q (want frontier, hybrid, batched, degree, rcm, degreesim, rcmsim or autodelta)", part, column)
 			}
 		default:
 			return nil, fmt.Errorf("assert %q: want kernel:graph:minSpeedup or kernel:graph:column:minSpeedup", part)
@@ -564,12 +870,7 @@ func parseAsserts(s string) ([]assertion, error) {
 }
 
 func knownKind(k string) bool {
-	for _, kind := range graph.Kinds {
-		if graph.Kind(k) == kind {
-			return true
-		}
-	}
-	return false
+	return graph.KnownKind(graph.Kind(k))
 }
 
 // findSpeedup returns the named column's speedup for the (kernel, graph)
@@ -588,11 +889,69 @@ func findSpeedup(rs []benchResult, kernel, g, column string) (float64, bool) {
 				return 0, false
 			}
 			return r.BatchedSpeedup, true
+		case "degree":
+			if r.DegreeSpeedup == 0 {
+				return 0, false
+			}
+			return r.DegreeSpeedup, true
+		case "rcm":
+			if r.RCMSpeedup == 0 {
+				return 0, false
+			}
+			return r.RCMSpeedup, true
+		case "degreesim":
+			if r.DegreeSimSpeedup == 0 {
+				return 0, false
+			}
+			return r.DegreeSimSpeedup, true
+		case "rcmsim":
+			if r.RCMSimSpeedup == 0 {
+				return 0, false
+			}
+			return r.RCMSimSpeedup, true
+		case "autodelta":
+			if r.AutoDeltaSpeedup == 0 {
+				return 0, false
+			}
+			return r.AutoDeltaSpeedup, true
 		default:
 			return r.Speedup, true
 		}
 	}
 	return 0, false
+}
+
+// findWarmAllocs returns the warm-path allocs/op for the (kernel, graph)
+// result, if that spec ran a warm measurement.
+func findWarmAllocs(rs []benchResult, kernel, g string) (float64, bool) {
+	for _, r := range rs {
+		if r.Kernel == kernel && r.Graph == g {
+			return r.WarmAllocsPerOp, r.WarmMeasured
+		}
+	}
+	return 0, false
+}
+
+// parseAllocAsserts parses -assertallocs entries
+// (kernel:graph:maxAllocsPerOp; 0 is the zero-allocation gate).
+func parseAllocAsserts(s string) ([]allocAssertion, error) {
+	var out []allocAssertion
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("assertallocs %q: want kernel:graph:maxAllocsPerOp", part)
+		}
+		max, err := strconv.ParseFloat(f[2], 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("assertallocs %q: bad alloc bound %q", part, f[2])
+		}
+		out = append(out, allocAssertion{kernel: f[0], graph: f[1], max: max})
+	}
+	return out, nil
 }
 
 // findSimSpeedup checks assertions against the scan-strategy result:

@@ -37,12 +37,13 @@ func main() {
 		platform  = flag.String("platform", "sim", "execution platform: sim or native")
 		threads   = flag.Int("threads", 16, "thread count")
 		n         = flag.Int("n", 16384, "vertex count for generated inputs")
-		kind      = flag.String("graph", "sparse", "generated graph family: sparse, road-tx, road-pa, road-ca, social")
+		kind      = flag.String("graph", "sparse", "generated graph family: sparse, road-tx, road-pa, road-ca, social, social-dense")
 		inputFile = flag.String("input", "", "read the input graph from an edge-list file instead of generating")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		cities    = flag.Int("cities", 12, "TSP city count")
 		source    = flag.Int("source", 0, "source vertex for SSSP/BFS/DFS")
 		strategy  = flag.String("strategy", "scan", "execution strategy for BFS/PAGE_RANK/SSSP_DIJK/CONN_COMP/COMM: scan (paper-faithful), frontier (compact worklist) or hybrid (direction-optimizing push-pull BFS, pull PageRank, Afforest components)")
+		order     = flag.String("order", "none", "cache-aware vertex reordering: none, degree (hub packing), rcm (bandwidth reduction) or auto (pick from degree skew); results come back in original vertex ids")
 		cores     = flag.Int("cores", 256, "simulated core count (sim platform)")
 		ooo       = flag.Bool("ooo", false, "simulate out-of-order cores")
 		jsonOut   = flag.Bool("json", false, "emit the full report as JSON")
@@ -66,7 +67,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *benchName, *platform, *strategy, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
+	if err := run(ctx, *benchName, *platform, *strategy, *order, *threads, *n, *kind, *inputFile, *seed, *cities, *source, *cores, *ooo, *jsonOut); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "crono: interrupted")
 		} else if errors.Is(err, context.DeadlineExceeded) {
@@ -78,7 +79,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, benchName, platform, strategy string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
+func run(ctx context.Context, benchName, platform, strategy, order string, threads, n int, kind, inputFile string, seed int64, cities, source, cores int, ooo, jsonOut bool) error {
 	b, err := core.ByName(benchName)
 	if err != nil {
 		return err
@@ -121,7 +122,27 @@ func run(ctx context.Context, benchName, platform, strategy string, threads, n i
 		return fmt.Errorf("unknown platform %q (want sim or native)", platform)
 	}
 
-	res, err := b.Run(ctx, pl, core.Request{Input: in, Threads: threads, Strategy: core.Strategy(strategy)})
+	// Resolve the reordering. Non-orderable kernels (COMM) and non-CSR
+	// inputs run over the original layout; the kernel un-permutes its
+	// payload, so the printed report describes the permuted execution but
+	// any result is in original vertex ids.
+	if order != "" && order != "auto" && !graph.Order(order).Valid() {
+		return fmt.Errorf("unknown order %q (want none, auto, degree or rcm)", order)
+	}
+	var ro *graph.Reordered
+	if in.G != nil && order != "" && order != string(graph.OrderNone) && core.Orderable(b.Name) {
+		o := graph.Order(order)
+		if order == "auto" {
+			o = graph.PickOrder(in.G)
+		}
+		if ro, err = graph.Reorder(in.G, o); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crono: vertex order %s (locality %.2f -> %.2f)\n",
+			o, graph.Locality(in.G, 64), graph.Locality(ro.G, 64))
+	}
+
+	res, err := b.Run(ctx, pl, core.Request{Input: in, Threads: threads, Strategy: core.Strategy(strategy), Reorder: ro})
 	if err != nil {
 		return err
 	}
@@ -136,6 +157,9 @@ func run(ctx context.Context, benchName, platform, strategy string, threads, n i
 
 func loadOrGenerate(file, kind string, n int, seed int64) (*graph.CSR, error) {
 	if file == "" {
+		if !graph.KnownKind(graph.Kind(kind)) {
+			return nil, fmt.Errorf("unknown graph family %q (see -help)", kind)
+		}
 		return graph.Generate(graph.Kind(kind), n, seed), nil
 	}
 	f, err := os.Open(file)

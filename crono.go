@@ -123,6 +123,51 @@ const (
 	StrategyHybrid Strategy = core.StrategyHybrid
 )
 
+// Order names a cache-aware vertex reordering. Build one with
+// ReorderGraph and pass it via RunRequest.Reorder: the kernel executes
+// over the permuted CSR and un-permutes its result, so payloads stay in
+// original vertex ids and are bit-identical to unordered runs.
+type Order = graph.Order
+
+// Reordered is a permuted CSR plus its forward/inverse vertex maps.
+type Reordered = graph.Reordered
+
+// Vertex orderings.
+const (
+	// OrderNone is the identity layout (upload order).
+	OrderNone Order = graph.OrderNone
+	// OrderDegree packs vertices in descending degree order — the hub
+	// locality play for power-law social graphs.
+	OrderDegree Order = graph.OrderDegree
+	// OrderRCM is a reverse-Cuthill–McKee-style bandwidth reducer — the
+	// neighborhood locality play for road networks and meshes.
+	OrderRCM Order = graph.OrderRCM
+)
+
+// ReorderGraph renumbers g's vertices under the given ordering.
+func ReorderGraph(g *Graph, o Order) (*Reordered, error) { return graph.Reorder(g, o) }
+
+// PickOrder chooses an ordering from g's degree skew: heavily skewed
+// degree distributions take OrderDegree, flat ones OrderRCM.
+func PickOrder(g *Graph) Order { return graph.PickOrder(g) }
+
+// Scratch owns the per-run vertex-indexed buffers of the graph-division
+// kernels; pass one via RunRequest.Scratch and repeat runs allocate
+// nothing after warm-up. ScratchPool recycles them by size class.
+type (
+	Scratch     = core.Scratch
+	ScratchPool = core.ScratchPool
+)
+
+// NewScratch returns an empty scratch arena; its buffers grow to the
+// largest graph it serves and are reused across runs.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// NewReusableNative returns a native platform that keeps its worker
+// goroutines alive between runs — the zero-allocation steady-state
+// companion to Scratch. Close it to release the workers.
+func NewReusableNative() *native.Reusable { return native.NewReusable() }
+
 // Result types of the ten kernels.
 type (
 	SSSPResult          = core.SSSPResult

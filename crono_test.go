@@ -2,6 +2,7 @@ package crono
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -164,6 +165,47 @@ func TestFacadeVariants(t *testing.T) {
 		d := push.Ranks[v] - pull.Ranks[v]
 		if d > 1e-9 || d < -1e-9 {
 			t.Fatalf("push/pull diverge at %d: %g vs %g", v, push.Ranks[v], pull.Ranks[v])
+		}
+	}
+}
+
+// TestFacadeReorderAndScratch drives the layout and allocation knobs
+// through the public facade: a reordered run returns bit-identical
+// levels in original vertex ids, and a pooled scratch plus reusable
+// platform replay the same request without fresh buffers.
+func TestFacadeReorderAndScratch(t *testing.T) {
+	g := GenerateGraph(GraphSocial, 400, 9)
+	pl := NewReusableNative()
+	defer pl.Close()
+
+	base, err := Run(context.Background(), pl, "BFS", RunRequest{
+		Input: BenchmarkInput{G: g}, Threads: 2, Strategy: StrategyFrontier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if o := PickOrder(g); o != OrderDegree && o != OrderRCM {
+		t.Fatalf("PickOrder = %q", o)
+	}
+	ro, err := ReorderGraph(g, OrderDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	for i := 0; i < 2; i++ {
+		got, err := Run(context.Background(), pl, "BFS", RunRequest{
+			Input: BenchmarkInput{G: g}, Threads: 2, Strategy: StrategyFrontier,
+			Reorder: ro, Scratch: sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range base.BFS.Level {
+			if got.BFS.Level[v] != base.BFS.Level[v] {
+				t.Fatalf("rep %d: reordered level[%d] = %d, want %d",
+					i, v, got.BFS.Level[v], base.BFS.Level[v])
+			}
 		}
 	}
 }

@@ -100,6 +100,18 @@ type Request struct {
 	// Target is the vertex BFS_TARGET searches for. The zero value is
 	// vertex 0; the kernel validates the range.
 	Target int
+	// Reorder, when non-nil, makes orderable kernels execute over the
+	// permuted CSR it carries (which must be a reordering of G) and
+	// un-permute their per-vertex payloads before returning, so callers
+	// only ever observe original vertex ids. Kernels without a
+	// label-invariant result (COMM) ignore it. See Orderable.
+	Reorder *graph.Reordered
+	// Scratch, when non-nil, supplies pooled buffers to the frontier and
+	// pull fast paths (BFS/SSSP_DIJK frontier, CONN_COMP frontier,
+	// PageRank pull) so warm repeat runs allocate nothing. A Scratch is
+	// single-run state: never share one across concurrent requests.
+	// Kernels without a scratch-aware path ignore it.
+	Scratch *Scratch
 }
 
 // WithDefaults returns the request with every zero-valued option resolved
@@ -187,10 +199,13 @@ func (b Benchmark) RunReport(pl exec.Platform, in Input, threads int) (*exec.Rep
 
 // Suite lists all ten benchmarks in paper order.
 func Suite() []Benchmark {
-	return []Benchmark{
+	return wrapSuite([]Benchmark{
 		{
 			Name: "SSSP_DIJK", Parallelization: "Graph Division",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
+				// Delta unset means auto-tune: derive the band width from
+				// the graph (AutoSSSPDelta) instead of the fixed default.
+				autoDelta := req.Delta == 0 && req.G != nil
 				req = req.WithDefaults()
 				if err := req.strategyErr(); err != nil {
 					return nil, err
@@ -200,14 +215,20 @@ func Suite() []Benchmark {
 					err error
 				)
 				if req.Strategy == StrategyFrontier || req.Strategy == StrategyHybrid {
-					r, err = SSSPFrontier(ctx, pl, req.G, req.Source, req.Threads, req.Delta)
+					delta := req.Delta
+					if autoDelta {
+						delta = AutoSSSPDelta(req.G)
+					}
+					r, err = ssspFrontier(ctx, pl, req.G, req.Source, req.Threads, delta, req.Scratch)
 				} else {
 					r, err = SSSP(ctx, pl, req.G, req.Source, req.Threads)
 				}
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Report: r.Report, SSSP: r}, nil
+				res := newResult(req.Scratch)
+				res.Report, res.SSSP = r.Report, r
+				return res, nil
 			},
 		},
 		{
@@ -247,14 +268,16 @@ func Suite() []Benchmark {
 				case StrategyHybrid:
 					r, err = BFSHybrid(ctx, pl, req.G, req.Source, req.Threads)
 				case StrategyFrontier:
-					r, err = BFSFrontier(ctx, pl, req.G, req.Source, req.Threads)
+					r, err = bfsFrontier(ctx, pl, req.G, req.Source, req.Threads, req.Scratch)
 				default:
 					r, err = BFS(ctx, pl, req.G, req.Source, req.Threads)
 				}
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Report: r.Report, BFS: r}, nil
+				res := newResult(req.Scratch)
+				res.Report, res.BFS = r.Report, r
+				return res, nil
 			},
 		},
 		{
@@ -294,14 +317,16 @@ func Suite() []Benchmark {
 				case StrategyHybrid:
 					r, err = ComponentsAfforest(ctx, pl, req.G, req.Threads)
 				case StrategyFrontier:
-					r, err = ComponentsFrontier(ctx, pl, req.G, req.Threads)
+					r, err = componentsFrontier(ctx, pl, req.G, req.Threads, req.Scratch)
 				default:
 					r, err = ConnectedComponents(ctx, pl, req.G, req.Threads)
 				}
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Report: r.Report, Components: r}, nil
+				res := newResult(req.Scratch)
+				res.Report, res.Components = r.Report, r
+				return res, nil
 			},
 		},
 		{
@@ -327,14 +352,16 @@ func Suite() []Benchmark {
 					err error
 				)
 				if req.Strategy == StrategyHybrid {
-					r, err = PageRankPull(ctx, pl, req.G, req.Threads, req.Iters)
+					r, err = pageRankPull(ctx, pl, req.G, req.Threads, req.Iters, req.Scratch)
 				} else {
 					r, err = PageRank(ctx, pl, req.G, req.Threads, req.Iters)
 				}
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Report: r.Report, PageRank: r}, nil
+				res := newResult(req.Scratch)
+				res.Report, res.PageRank = r.Report, r
+				return res, nil
 			},
 		},
 		{
@@ -359,14 +386,23 @@ func Suite() []Benchmark {
 				return &Result{Report: r.Report, Community: r}, nil
 			},
 		},
+	})
+}
+
+// wrapSuite applies the cross-cutting Run decorators — currently only
+// the reorder/un-permute wrapper — to every benchmark.
+func wrapSuite(bs []Benchmark) []Benchmark {
+	for i := range bs {
+		bs[i].Run = withReorder(bs[i].Name, bs[i].Run)
 	}
+	return bs
 }
 
 // Variants lists the Section III algorithmic variants as runnable
 // benchmarks. They are not part of the Table I suite, but ByName resolves
 // them, so the service and the CLI can execute them by name.
 func Variants() []Benchmark {
-	return []Benchmark{
+	return wrapSuite([]Benchmark{
 		{
 			Name: "SSSP_DELTA", Parallelization: "Graph Division (delta-stepping)",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
@@ -404,14 +440,16 @@ func Variants() []Benchmark {
 			Name: "PAGERANK_PULL", Parallelization: "Graph Division (pull)",
 			Run: func(ctx context.Context, pl exec.Platform, req Request) (*Result, error) {
 				req = req.WithDefaults()
-				r, err := PageRankPull(ctx, pl, req.G, req.Threads, req.Iters)
+				r, err := pageRankPull(ctx, pl, req.G, req.Threads, req.Iters, req.Scratch)
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Report: r.Report, PageRank: r}, nil
+				res := newResult(req.Scratch)
+				res.Report, res.PageRank = r.Report, r
+				return res, nil
 			},
 		},
-	}
+	})
 }
 
 // ByName returns the suite benchmark or variant with the given

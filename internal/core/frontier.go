@@ -62,6 +62,45 @@ func newWorklist(threads int, seed []int32) *worklist {
 	}
 }
 
+// prepare grows (never shrinks) w's owned buffers for a new run with a
+// seed frontier of the given length. The per-thread buffers, the offsets
+// and the spare array all keep their capacity, so a warm worklist goes
+// through entire runs without allocating. cur and spare identities stay
+// distinct — the non-aliasing invariant seal relies on.
+func (w *worklist) prepare(threads, seedLen int) {
+	for len(w.next) < threads {
+		w.next = append(w.next, nil)
+	}
+	w.next = w.next[:threads]
+	for t := range w.next {
+		w.next[t] = w.next[t][:0]
+	}
+	if cap(w.off) < threads {
+		w.off = make([]int, threads)
+	}
+	w.off = w.off[:threads]
+	if cap(w.cur) < seedLen {
+		w.cur = make([]int32, seedLen)
+	}
+	w.cur = w.cur[:seedLen]
+}
+
+// reset reinitializes w in place for a new run seeded with the given
+// vertices (copied into a worklist-owned array).
+func (w *worklist) reset(threads int, seed ...int32) {
+	w.prepare(threads, len(seed))
+	copy(w.cur, seed)
+}
+
+// resetIota reinitializes w with the full-vertex seed 0..n-1 (the
+// CONN_COMP start state) without materializing a separate seed slice.
+func (w *worklist) resetIota(threads, n int) {
+	w.prepare(threads, n)
+	for i := range w.cur {
+		w.cur[i] = int32(i)
+	}
+}
+
 // frontier returns the current shared worklist. Valid between Barrier C
 // of one round and Barrier A of the next.
 func (w *worklist) frontier() []int32 { return w.cur }
@@ -108,91 +147,128 @@ func (w *worklist) copyOut(ctx exec.Ctx, r exec.Region) {
 // BFS's — the level-synchronous structure fully determines them — so
 // the two strategies are result-interchangeable.
 func BFSFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int) (*BFSResult, error) {
+	return bfsFrontier(goCtx, pl, g, src, threads, nil)
+}
+
+// bfsFrontierRun is the reusable state of one BFSFrontier execution.
+// With a Scratch it persists across runs so warm runs allocate nothing:
+// the level array, the worklist buffers, the barrier and the kernel body
+// closure are all reused; only regions (value types) are re-placed.
+type bfsFrontierRun struct {
+	g       *graph.CSR
+	threads int
+	level   []int32
+	wl      worklist
+	ctrl    int32
+	depth   int
+
+	rLvl, rOff, rTgt, rFront exec.Region
+	bar                      exec.Barrier
+	body                     func(exec.Ctx)
+	res                      BFSResult
+}
+
+// bfsFrontier is BFSFrontier with an optional scratch workspace.
+func bfsFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int, s *Scratch) (*BFSResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
 	n := g.N
-	level := make([]int32, n)
-	for i := range level {
-		level[i] = -1
+	k := s.bfsFrontier()
+	k.g = g
+	k.threads = threads
+	k.level = grow32(k.level, n, s.detached())
+	for i := range k.level {
+		k.level[i] = -1
 	}
-	level[src] = 0
-	wl := newWorklist(threads, []int32{int32(src)})
-	ctrl := ctrlContinue
-	depth := 0
+	k.level[src] = 0
+	k.wl.reset(threads, int32(src))
+	k.ctrl = ctrlContinue
+	k.depth = 0
+	k.rLvl = pl.Alloc("bfsf.level", n, 4)
+	k.rOff = pl.Alloc("bfsf.offsets", n+1, 8)
+	k.rTgt = pl.Alloc("bfsf.targets", g.M(), 4)
+	k.rFront = pl.Alloc("bfsf.frontier", n, 4)
+	k.bar = s.barrierFor(pl, threads)
+	if k.body == nil {
+		k.body = k.run
+	}
 
-	rLvl := pl.Alloc("bfsf.level", n, 4)
-	rOff := pl.Alloc("bfsf.offsets", n+1, 8)
-	rTgt := pl.Alloc("bfsf.targets", g.M(), 4)
-	rFront := pl.Alloc("bfsf.frontier", n, 4)
-	bar := pl.NewBarrier(threads)
-
-	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
-		tid := ctx.TID()
-		cur := int32(0)
-		for {
-			f := wl.frontier()
-			lo, hi := chunk(tid, threads, len(f))
-			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
-			found := 0
-			for i := lo; i < hi; i++ {
-				v := int(f[i])
-				ctx.Load(rOff.At(v))
-				ts, _ := g.Neighbors(v)
-				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
-				for _, u := range ts {
-					ctx.AtomicLoad(rLvl.At(int(u)))
-					ctx.Compute(1)
-					if atomic.LoadInt32(&level[u]) != -1 {
-						continue
-					}
-					// Lock-free claim: the CAS plays the role of the scan
-					// kernel's per-vertex atomic lock.
-					if atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
-						ctx.AtomicRMW(rLvl.At(int(u)))
-						found++
-						wl.push(tid, u)
-					}
-				}
-			}
-			ctx.Active(found - (hi - lo)) // discoveries join, explored leave
-			ctx.Barrier(bar)
-			if tid == 0 {
-				total := wl.seal()
-				st := ctrlContinue
-				switch {
-				case ctx.Checkpoint() != nil:
-					st = ctrlAbort
-				case total == 0:
-					st = ctrlDone
-				default:
-					depth++
-				}
-				atomic.StoreInt32(&ctrl, st)
-			}
-			ctx.Barrier(bar)
-			if tid != 0 && ctx.Checkpoint() != nil {
-				return
-			}
-			if c := atomic.LoadInt32(&ctrl); c != ctrlContinue {
-				return
-			}
-			wl.copyOut(ctx, rFront)
-			ctx.Barrier(bar)
-			cur++
-		}
-	})
+	rep, err := pl.RunCtx(goCtx, threads, k.body)
 	if err != nil {
 		return nil, err
 	}
 
 	visited := 0
-	for _, l := range level {
+	for _, l := range k.level {
 		if l >= 0 {
 			visited++
 		}
 	}
-	return &BFSResult{Level: level, Visited: visited, Levels: depth + 1, Report: rep}, nil
+	res := &k.res
+	if s.detached() {
+		res = &BFSResult{}
+	}
+	*res = BFSResult{Level: k.level, Visited: visited, Levels: k.depth + 1, Report: rep}
+	return res, nil
+}
+
+func (k *bfsFrontierRun) run(ctx exec.Ctx) {
+	g, level, wl, threads := k.g, k.level, &k.wl, k.threads
+	rLvl, rOff, rTgt, rFront, bar := k.rLvl, k.rOff, k.rTgt, k.rFront, k.bar
+	tid := ctx.TID()
+	cur := int32(0)
+	for {
+		f := wl.frontier()
+		lo, hi := chunk(tid, threads, len(f))
+		ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+		found := 0
+		for i := lo; i < hi; i++ {
+			v := int(f[i])
+			ctx.Load(rOff.At(v))
+			ts, _ := g.Neighbors(v)
+			ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+			for _, u := range ts {
+				ctx.AtomicLoad(rLvl.At(int(u)))
+				ctx.Compute(1)
+				if atomic.LoadInt32(&level[u]) != -1 {
+					continue
+				}
+				// Lock-free claim: the CAS plays the role of the scan
+				// kernel's per-vertex atomic lock.
+				if atomic.CompareAndSwapInt32(&level[u], -1, cur+1) {
+					ctx.AtomicRMW(rLvl.At(int(u)))
+					found++
+					wl.push(tid, u)
+				}
+			}
+		}
+		ctx.Active(found - (hi - lo)) // discoveries join, explored leave
+		ctx.Barrier(bar)
+		if tid == 0 {
+			total := wl.seal()
+			st := ctrlContinue
+			switch {
+			case ctx.Checkpoint() != nil:
+				st = ctrlAbort
+			case total == 0:
+				st = ctrlDone
+			default:
+				k.depth++
+			}
+			atomic.StoreInt32(&k.ctrl, st)
+		}
+		ctx.Barrier(bar)
+		if tid != 0 && ctx.Checkpoint() != nil {
+			return
+		}
+		if c := atomic.LoadInt32(&k.ctrl); c != ctrlContinue {
+			return
+		}
+		wl.copyOut(ctx, rFront)
+		ctx.Barrier(bar)
+		cur++
+	}
 }
 
 // ComponentsFrontier runs connected components with the frontier
@@ -203,98 +279,138 @@ func BFSFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, thr
 // all n vertices. Labels converge to the minimum vertex id of each
 // component, exactly as ConnectedComponents and ComponentsRef do.
 func ComponentsFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads int) (*ComponentsResult, error) {
+	return componentsFrontier(goCtx, pl, g, threads, nil)
+}
+
+// componentsFrontierRun is the reusable state of one ComponentsFrontier
+// execution (see bfsFrontierRun).
+type componentsFrontierRun struct {
+	g       *graph.CSR
+	threads int
+	labels  []int32
+	mark    []int32 // 1 while the vertex sits in a buffer or the worklist
+	wl      worklist
+	ctrl    int32
+	iters   int
+
+	rLbl, rOff, rTgt, rMark, rFront exec.Region
+	bar                             exec.Barrier
+	body                            func(exec.Ctx)
+	res                             ComponentsResult
+}
+
+// componentsFrontier is ComponentsFrontier with an optional scratch
+// workspace.
+func componentsFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads int, s *Scratch) (*ComponentsResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
 	n := g.N
-	labels := make([]int32, n)
-	mark := make([]int32, n) // 1 while the vertex sits in a buffer or the worklist
-	seed := make([]int32, n)
+	k := s.componentsFrontier()
+	k.g = g
+	k.threads = threads
+	k.labels = grow32(k.labels, n, s.detached())
+	k.mark = grow32(k.mark, n, false)
 	for v := 0; v < n; v++ {
-		labels[v] = int32(v)
-		mark[v] = 1
-		seed[v] = int32(v)
+		k.labels[v] = int32(v)
+		k.mark[v] = 1
 	}
-	wl := newWorklist(threads, seed)
-	ctrl := ctrlContinue
-	iters := 0
+	k.wl.resetIota(threads, n)
+	k.ctrl = ctrlContinue
+	k.iters = 0
+	k.rLbl = pl.Alloc("ccf.labels", n, 4)
+	k.rOff = pl.Alloc("ccf.offsets", n+1, 8)
+	k.rTgt = pl.Alloc("ccf.targets", g.M(), 4)
+	k.rMark = pl.Alloc("ccf.mark", n, 4)
+	k.rFront = pl.Alloc("ccf.frontier", n, 4)
+	k.bar = s.barrierFor(pl, threads)
+	if k.body == nil {
+		k.body = k.run
+	}
 
-	rLbl := pl.Alloc("ccf.labels", n, 4)
-	rOff := pl.Alloc("ccf.offsets", n+1, 8)
-	rTgt := pl.Alloc("ccf.targets", g.M(), 4)
-	rMark := pl.Alloc("ccf.mark", n, 4)
-	rFront := pl.Alloc("ccf.frontier", n, 4)
-	bar := pl.NewBarrier(threads)
-
-	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
-		tid := ctx.TID()
-		for {
-			f := wl.frontier()
-			lo, hi := chunk(tid, threads, len(f))
-			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
-			found := 0
-			for i := lo; i < hi; i++ {
-				v := int(f[i])
-				atomic.StoreInt32(&mark[v], 0)
-				ctx.AtomicStore(rMark.At(v))
-				ctx.AtomicLoad(rLbl.At(v))
-				lv := atomic.LoadInt32(&labels[v])
-				ctx.Load(rOff.At(v))
-				ts, _ := g.Neighbors(v)
-				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
-				for _, u := range ts {
-					ctx.AtomicLoad(rLbl.At(int(u)))
-					ctx.Compute(1)
-					for {
-						lu := atomic.LoadInt32(&labels[u])
-						if lv >= lu {
-							break
-						}
-						if atomic.CompareAndSwapInt32(&labels[u], lu, lv) {
-							ctx.AtomicRMW(rLbl.At(int(u)))
-							if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
-								ctx.AtomicRMW(rMark.At(int(u)))
-								found++
-								wl.push(tid, u)
-							}
-							break
-						}
-					}
-				}
-			}
-			ctx.Active(found - (hi - lo))
-			ctx.Barrier(bar)
-			if tid == 0 {
-				total := wl.seal()
-				st := ctrlContinue
-				switch {
-				case ctx.Checkpoint() != nil:
-					st = ctrlAbort
-				case total == 0:
-					st = ctrlDone
-				default:
-					iters++
-				}
-				atomic.StoreInt32(&ctrl, st)
-			}
-			ctx.Barrier(bar)
-			if tid != 0 && ctx.Checkpoint() != nil {
-				return
-			}
-			if c := atomic.LoadInt32(&ctrl); c != ctrlContinue {
-				return
-			}
-			wl.copyOut(ctx, rFront)
-			ctx.Barrier(bar)
-		}
-	})
+	rep, err := pl.RunCtx(goCtx, threads, k.body)
 	if err != nil {
 		return nil, err
 	}
 
-	seen := make(map[int32]bool)
-	for _, l := range labels {
-		seen[l] = true
+	// Labels converge to the minimum vertex id of each component, so the
+	// representatives are exactly the fixpoints labels[v] == v — counting
+	// them needs no set allocation.
+	comps := 0
+	for v, l := range k.labels {
+		if l == int32(v) {
+			comps++
+		}
 	}
-	return &ComponentsResult{Labels: labels, Components: len(seen), Iterations: iters + 1, Report: rep}, nil
+	res := &k.res
+	if s.detached() {
+		res = &ComponentsResult{}
+	}
+	*res = ComponentsResult{Labels: k.labels, Components: comps, Iterations: k.iters + 1, Report: rep}
+	return res, nil
+}
+
+func (k *componentsFrontierRun) run(ctx exec.Ctx) {
+	g, labels, mark, wl, threads := k.g, k.labels, k.mark, &k.wl, k.threads
+	rLbl, rOff, rTgt, rMark, rFront, bar := k.rLbl, k.rOff, k.rTgt, k.rMark, k.rFront, k.bar
+	tid := ctx.TID()
+	for {
+		f := wl.frontier()
+		lo, hi := chunk(tid, threads, len(f))
+		ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+		found := 0
+		for i := lo; i < hi; i++ {
+			v := int(f[i])
+			atomic.StoreInt32(&mark[v], 0)
+			ctx.AtomicStore(rMark.At(v))
+			ctx.AtomicLoad(rLbl.At(v))
+			lv := atomic.LoadInt32(&labels[v])
+			ctx.Load(rOff.At(v))
+			ts, _ := g.Neighbors(v)
+			ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+			for _, u := range ts {
+				ctx.AtomicLoad(rLbl.At(int(u)))
+				ctx.Compute(1)
+				for {
+					lu := atomic.LoadInt32(&labels[u])
+					if lv >= lu {
+						break
+					}
+					if atomic.CompareAndSwapInt32(&labels[u], lu, lv) {
+						ctx.AtomicRMW(rLbl.At(int(u)))
+						if atomic.CompareAndSwapInt32(&mark[u], 0, 1) {
+							ctx.AtomicRMW(rMark.At(int(u)))
+							found++
+							wl.push(tid, u)
+						}
+						break
+					}
+				}
+			}
+		}
+		ctx.Active(found - (hi - lo))
+		ctx.Barrier(bar)
+		if tid == 0 {
+			total := wl.seal()
+			st := ctrlContinue
+			switch {
+			case ctx.Checkpoint() != nil:
+				st = ctrlAbort
+			case total == 0:
+				st = ctrlDone
+			default:
+				k.iters++
+			}
+			atomic.StoreInt32(&k.ctrl, st)
+		}
+		ctx.Barrier(bar)
+		if tid != 0 && ctx.Checkpoint() != nil {
+			return
+		}
+		if c := atomic.LoadInt32(&k.ctrl); c != ctrlContinue {
+			return
+		}
+		wl.copyOut(ctx, rFront)
+		ctx.Barrier(bar)
+	}
 }

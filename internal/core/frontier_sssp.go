@@ -20,6 +20,33 @@ import (
 // O(n) per pareto front. Distances are exact, matching SSSP and
 // SSSPRef; only the schedule differs.
 func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int, delta int32) (*SSSPResult, error) {
+	return ssspFrontier(goCtx, pl, g, src, threads, delta, nil)
+}
+
+// ssspFrontierRun is the reusable state of one SSSPFrontier execution
+// (see bfsFrontierRun).
+type ssspFrontierRun struct {
+	g       *graph.CSR
+	threads int
+	delta   int32
+	dist    []int32
+	exist   []int32 // 1 while the vertex is marked (in the worklist)
+	mins    []int32
+	changed []int32
+	relax   []int64
+	wl      worklist
+	ctrl    int32
+	rounds  int
+	bandEnd int32
+
+	rDist, rOff, rTgt, rWgt, rExist, rMins, rChg, rFront exec.Region
+	bar                                                  exec.Barrier
+	body                                                 func(exec.Ctx)
+	res                                                  SSSPResult
+}
+
+// ssspFrontier is SSSPFrontier with an optional scratch workspace.
+func ssspFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, threads int, delta int32, s *Scratch) (*SSSPResult, error) {
 	if err := validate(g, src, threads); err != nil {
 		return nil, err
 	}
@@ -27,170 +54,193 @@ func SSSPFrontier(goCtx context.Context, pl exec.Platform, g *graph.CSR, src, th
 		return nil, fmt.Errorf("core: delta %d < 1", delta)
 	}
 	n := g.N
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = graph.Inf
+	k := s.ssspFrontier()
+	k.g = g
+	k.threads = threads
+	k.delta = delta
+	k.dist = grow32(k.dist, n, s.detached())
+	for i := range k.dist {
+		k.dist[i] = graph.Inf
 	}
-	dist[src] = 0
-	exist := make([]int32, n) // 1 while the vertex is marked (in the worklist)
-	exist[src] = 1
-	mins := make([]int32, threads)
-	changed := make([]int32, threads)
-	relax := make([]int64, threads)
-	rounds := 0
-	bandEnd := int32(0)
-	ctrl := ctrlContinue
-	wl := newWorklist(threads, []int32{int32(src)})
+	k.dist[src] = 0
+	k.exist = grow32(k.exist, n, false)
+	for i := range k.exist {
+		k.exist[i] = 0
+	}
+	k.exist[src] = 1
+	k.mins = grow32(k.mins, threads, false)
+	k.changed = grow32(k.changed, threads, false)
+	k.relax = grow64(k.relax, threads, false)
+	for t := 0; t < threads; t++ {
+		k.relax[t] = 0
+	}
+	k.rounds = 0
+	k.bandEnd = 0
+	k.ctrl = ctrlContinue
+	k.wl.reset(threads, int32(src))
+	k.rDist = pl.Alloc("ssspf.dist", n, 4)
+	k.rOff = pl.Alloc("ssspf.offsets", n+1, 8)
+	k.rTgt = pl.Alloc("ssspf.targets", g.M(), 4)
+	k.rWgt = pl.Alloc("ssspf.weights", g.M(), 4)
+	k.rExist = pl.Alloc("ssspf.exist", n, 4)
+	k.rMins = pl.Alloc("ssspf.mins", threads, 4)
+	k.rChg = pl.Alloc("ssspf.changed", threads, 4)
+	k.rFront = pl.Alloc("ssspf.frontier", n, 4)
+	k.bar = s.barrierFor(pl, threads)
+	if k.body == nil {
+		k.body = k.run
+	}
 
-	rDist := pl.Alloc("ssspf.dist", n, 4)
-	rOff := pl.Alloc("ssspf.offsets", n+1, 8)
-	rTgt := pl.Alloc("ssspf.targets", g.M(), 4)
-	rWgt := pl.Alloc("ssspf.weights", g.M(), 4)
-	rExist := pl.Alloc("ssspf.exist", n, 4)
-	rMins := pl.Alloc("ssspf.mins", threads, 4)
-	rChg := pl.Alloc("ssspf.changed", threads, 4)
-	rFront := pl.Alloc("ssspf.frontier", n, 4)
-	bar := pl.NewBarrier(threads)
-
-	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
-		tid := ctx.TID()
-		newBand := true
-		for {
-			f := wl.frontier()
-			lo, hi := chunk(tid, threads, len(f))
-			if newBand {
-				// Find the next band start: minimum tentative distance
-				// over the worklist (not over all n vertices).
-				local := graph.Inf
-				ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
-				for i := lo; i < hi; i++ {
-					v := int(f[i])
-					ctx.AtomicLoad(rDist.At(v))
-					ctx.Compute(1)
-					if d := atomic.LoadInt32(&dist[v]); d < local {
-						local = d
-					}
-				}
-				mins[tid] = local
-				ctx.Store(rMins.At(tid))
-				ctx.Barrier(bar)
-				if tid == 0 {
-					gmin := graph.Inf
-					for t := 0; t < threads; t++ {
-						ctx.Load(rMins.At(t))
-						if mins[t] < gmin {
-							gmin = mins[t]
-						}
-					}
-					st := ctrlContinue
-					switch {
-					case ctx.Checkpoint() != nil:
-						st = ctrlAbort
-					case gmin >= graph.Inf:
-						st = ctrlDone
-					default:
-						rounds++
-						atomic.StoreInt32(&bandEnd, gmin+delta)
-					}
-					atomic.StoreInt32(&ctrl, st)
-				}
-				ctx.Barrier(bar)
-				if tid != 0 && ctx.Checkpoint() != nil {
-					return
-				}
-				if atomic.LoadInt32(&ctrl) != ctrlContinue {
-					return
-				}
-				newBand = false
-			}
-			end := atomic.LoadInt32(&bandEnd)
-			// Band sweep: settle and expand worklist members inside the
-			// band; carry the rest to the next round unprocessed.
-			changed[tid] = 0
-			settled, marked := 0, 0
-			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
-			for i := lo; i < hi; i++ {
-				v := int(f[i])
-				ctx.AtomicLoad(rDist.At(v))
-				ctx.Compute(1)
-				dv := atomic.LoadInt32(&dist[v])
-				if dv >= end {
-					wl.push(tid, int32(v))
-					continue
-				}
-				atomic.StoreInt32(&exist[v], 0)
-				ctx.AtomicStore(rExist.At(v))
-				settled++
-				ctx.Load(rOff.At(v))
-				ts, ws := g.Neighbors(v)
-				ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
-				ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
-				for e, u := range ts {
-					nd := dv + ws[e]
-					ctx.AtomicLoad(rDist.At(int(u)))
-					ctx.Compute(1)
-					// Lock-free CAS-min relaxation replaces the scan
-					// kernel's racy-read-then-locked-recheck.
-					for {
-						old := atomic.LoadInt32(&dist[u])
-						if nd >= old {
-							break
-						}
-						if atomic.CompareAndSwapInt32(&dist[u], old, nd) {
-							ctx.AtomicRMW(rDist.At(int(u)))
-							relax[tid]++
-							if atomic.CompareAndSwapInt32(&exist[u], 0, 1) {
-								ctx.AtomicRMW(rExist.At(int(u)))
-								marked++
-								wl.push(tid, u)
-							}
-							if nd < end {
-								changed[tid] = 1
-							}
-							break
-						}
-					}
-				}
-			}
-			ctx.Active(marked - settled)
-			ctx.Store(rChg.At(tid))
-			ctx.Barrier(bar)
-			if tid == 0 {
-				wl.seal()
-				any := int32(0)
-				for t := 0; t < threads; t++ {
-					ctx.Load(rChg.At(t))
-					any |= changed[t]
-				}
-				st := ctrlContinue // sweep the band again
-				switch {
-				case ctx.Checkpoint() != nil:
-					st = ctrlAbort
-				case any == 0:
-					st = ctrlNewBand // band fixpoint: open the next band
-				}
-				atomic.StoreInt32(&ctrl, st)
-			}
-			ctx.Barrier(bar)
-			if tid != 0 && ctx.Checkpoint() != nil {
-				return
-			}
-			c := atomic.LoadInt32(&ctrl)
-			if c == ctrlAbort {
-				return
-			}
-			wl.copyOut(ctx, rFront)
-			ctx.Barrier(bar)
-			newBand = c == ctrlNewBand
-		}
-	})
+	rep, err := pl.RunCtx(goCtx, threads, k.body)
 	if err != nil {
 		return nil, err
 	}
 
 	var total int64
-	for _, r := range relax {
+	for _, r := range k.relax {
 		total += r
 	}
-	return &SSSPResult{Dist: dist, Relaxations: total, Rounds: rounds, Report: rep}, nil
+	res := &k.res
+	if s.detached() {
+		res = &SSSPResult{}
+	}
+	*res = SSSPResult{Dist: k.dist, Relaxations: total, Rounds: k.rounds, Report: rep}
+	return res, nil
+}
+
+func (k *ssspFrontierRun) run(ctx exec.Ctx) {
+	g, dist, exist, mins, changed, relax := k.g, k.dist, k.exist, k.mins, k.changed, k.relax
+	wl, threads, delta := &k.wl, k.threads, k.delta
+	rDist, rOff, rTgt, rWgt := k.rDist, k.rOff, k.rTgt, k.rWgt
+	rExist, rMins, rChg, rFront, bar := k.rExist, k.rMins, k.rChg, k.rFront, k.bar
+	tid := ctx.TID()
+	newBand := true
+	for {
+		f := wl.frontier()
+		lo, hi := chunk(tid, threads, len(f))
+		if newBand {
+			// Find the next band start: minimum tentative distance
+			// over the worklist (not over all n vertices).
+			local := graph.Inf
+			ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+			for i := lo; i < hi; i++ {
+				v := int(f[i])
+				ctx.AtomicLoad(rDist.At(v))
+				ctx.Compute(1)
+				if d := atomic.LoadInt32(&dist[v]); d < local {
+					local = d
+				}
+			}
+			mins[tid] = local
+			ctx.Store(rMins.At(tid))
+			ctx.Barrier(bar)
+			if tid == 0 {
+				gmin := graph.Inf
+				for t := 0; t < threads; t++ {
+					ctx.Load(rMins.At(t))
+					if mins[t] < gmin {
+						gmin = mins[t]
+					}
+				}
+				st := ctrlContinue
+				switch {
+				case ctx.Checkpoint() != nil:
+					st = ctrlAbort
+				case gmin >= graph.Inf:
+					st = ctrlDone
+				default:
+					k.rounds++
+					atomic.StoreInt32(&k.bandEnd, gmin+delta)
+				}
+				atomic.StoreInt32(&k.ctrl, st)
+			}
+			ctx.Barrier(bar)
+			if tid != 0 && ctx.Checkpoint() != nil {
+				return
+			}
+			if atomic.LoadInt32(&k.ctrl) != ctrlContinue {
+				return
+			}
+			newBand = false
+		}
+		end := atomic.LoadInt32(&k.bandEnd)
+		// Band sweep: settle and expand worklist members inside the
+		// band; carry the rest to the next round unprocessed.
+		changed[tid] = 0
+		settled, marked := 0, 0
+		ctx.LoadSpan(rFront.At(lo), hi-lo, 4)
+		for i := lo; i < hi; i++ {
+			v := int(f[i])
+			ctx.AtomicLoad(rDist.At(v))
+			ctx.Compute(1)
+			dv := atomic.LoadInt32(&dist[v])
+			if dv >= end {
+				wl.push(tid, int32(v))
+				continue
+			}
+			atomic.StoreInt32(&exist[v], 0)
+			ctx.AtomicStore(rExist.At(v))
+			settled++
+			ctx.Load(rOff.At(v))
+			ts, ws := g.Neighbors(v)
+			ctx.LoadSpan(rTgt.At(int(g.Offsets[v])), len(ts), 4)
+			ctx.LoadSpan(rWgt.At(int(g.Offsets[v])), len(ts), 4)
+			for e, u := range ts {
+				nd := dv + ws[e]
+				ctx.AtomicLoad(rDist.At(int(u)))
+				ctx.Compute(1)
+				// Lock-free CAS-min relaxation replaces the scan
+				// kernel's racy-read-then-locked-recheck.
+				for {
+					old := atomic.LoadInt32(&dist[u])
+					if nd >= old {
+						break
+					}
+					if atomic.CompareAndSwapInt32(&dist[u], old, nd) {
+						ctx.AtomicRMW(rDist.At(int(u)))
+						relax[tid]++
+						if atomic.CompareAndSwapInt32(&exist[u], 0, 1) {
+							ctx.AtomicRMW(rExist.At(int(u)))
+							marked++
+							wl.push(tid, u)
+						}
+						if nd < end {
+							changed[tid] = 1
+						}
+						break
+					}
+				}
+			}
+		}
+		ctx.Active(marked - settled)
+		ctx.Store(rChg.At(tid))
+		ctx.Barrier(bar)
+		if tid == 0 {
+			wl.seal()
+			any := int32(0)
+			for t := 0; t < threads; t++ {
+				ctx.Load(rChg.At(t))
+				any |= changed[t]
+			}
+			st := ctrlContinue // sweep the band again
+			switch {
+			case ctx.Checkpoint() != nil:
+				st = ctrlAbort
+			case any == 0:
+				st = ctrlNewBand // band fixpoint: open the next band
+			}
+			atomic.StoreInt32(&k.ctrl, st)
+		}
+		ctx.Barrier(bar)
+		if tid != 0 && ctx.Checkpoint() != nil {
+			return
+		}
+		c := atomic.LoadInt32(&k.ctrl)
+		if c == ctrlAbort {
+			return
+		}
+		wl.copyOut(ctx, rFront)
+		ctx.Barrier(bar)
+		newBand = c == ctrlNewBand
+	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the -race build flag so allocation-count tests can
+// skip themselves: the race detector instruments allocations and makes
+// testing.AllocsPerRun report nonzero counts for allocation-free code.
+const raceEnabled = false

@@ -14,6 +14,39 @@ import (
 // delta-ablation experiment.
 const DefaultSSSPDelta = 32
 
+// AutoSSSPDelta derives a delta-stepping band width from the graph
+// itself: average edge weight times average degree, the classic
+// heuristic for balancing band population against wasted re-relaxation
+// (a band should admit roughly one hop's worth of distance progress).
+// Weights are sampled on an even stride capped at 1024 edges so the
+// estimate costs O(1) on large graphs. Falls back to DefaultSSSPDelta
+// for edgeless graphs or degenerate estimates.
+func AutoSSSPDelta(g *graph.CSR) int32 {
+	if g == nil || g.M() == 0 || g.N == 0 {
+		return DefaultSSSPDelta
+	}
+	m := g.M()
+	samples := m
+	if samples > 1024 {
+		samples = 1024
+	}
+	stride := m / samples
+	var sum int64
+	for i := 0; i < samples; i++ {
+		sum += int64(g.Weights[i*stride])
+	}
+	avgW := float64(sum) / float64(samples)
+	avgDeg := float64(m) / float64(g.N)
+	d := int64(avgW * avgDeg)
+	if d < 1 {
+		return 1
+	}
+	if d > int64(graph.Inf)/4 {
+		return graph.Inf / 4
+	}
+	return int32(d)
+}
+
 // This file contains kernel variants beyond the paper's Table I set.
 // They exist for the design-space questions the paper raises: how much of
 // SSSP's synchronization wall is the strict pareto-front discipline
@@ -486,6 +519,28 @@ func BrandesRef(g *graph.CSR) []float64 {
 // revisions pulled over the out-CSR, which was only correct for the
 // symmetric generator graphs. Cancellation is polled once per iteration.
 func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, iters int) (*PageRankResult, error) {
+	return pageRankPull(goCtx, pl, g, threads, iters, nil)
+}
+
+// pageRankPullRun is the reusable state of one PageRankPull execution
+// (see bfsFrontierRun).
+type pageRankPullRun struct {
+	g       *graph.CSR
+	in      *graph.CSR
+	threads int
+	iters   int
+	pr      []float64
+	next    []float64
+	contrib []float64 // pr[v]/outdeg(v), published per iteration
+
+	rPR, rNext, rCon, rOff, rTgt exec.Region
+	bar                          exec.Barrier
+	body                         func(exec.Ctx)
+	res                          PageRankResult
+}
+
+// pageRankPull is PageRankPull with an optional scratch workspace.
+func pageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads, iters int, s *Scratch) (*PageRankResult, error) {
 	if err := validate(g, 0, threads); err != nil {
 		return nil, err
 	}
@@ -493,70 +548,85 @@ func PageRankPull(goCtx context.Context, pl exec.Platform, g *graph.CSR, threads
 		iters = 1
 	}
 	n := g.N
-	in := g.InCSR()
-	pr := make([]float64, n)
-	next := make([]float64, n)
-	contrib := make([]float64, n) // pr[v]/outdeg(v), published per iteration
-	for i := range pr {
-		pr[i] = 1 / float64(n)
+	k := s.pageRankPull()
+	k.g = g
+	k.in = g.InCSR()
+	k.threads = threads
+	k.iters = iters
+	k.pr = growF64(k.pr, n, s.detached())
+	k.next = growF64(k.next, n, false)
+	k.contrib = growF64(k.contrib, n, false)
+	for i := range k.pr {
+		k.pr[i] = 1 / float64(n)
+	}
+	k.rPR = pl.Alloc("prp.ranks", n, 8)
+	k.rNext = pl.Alloc("prp.next", n, 8)
+	k.rCon = pl.Alloc("prp.contrib", n, 8)
+	k.rOff = pl.Alloc("prp.inoffsets", n+1, 8)
+	k.rTgt = pl.Alloc("prp.intargets", k.in.M(), 4)
+	k.bar = s.barrierFor(pl, threads)
+	if k.body == nil {
+		k.body = k.run
 	}
 
-	rPR := pl.Alloc("prp.ranks", n, 8)
-	rNext := pl.Alloc("prp.next", n, 8)
-	rCon := pl.Alloc("prp.contrib", n, 8)
-	rOff := pl.Alloc("prp.inoffsets", n+1, 8)
-	rTgt := pl.Alloc("prp.intargets", in.M(), 4)
-	bar := pl.NewBarrier(threads)
-
-	rep, err := pl.RunCtx(goCtx, threads, func(ctx exec.Ctx) {
-		tid := ctx.TID()
-		lo, hi := chunk(tid, threads, n)
-		for it := 0; it < iters; it++ {
-			if ctx.Checkpoint() != nil {
-				return
-			}
-			// Publish contributions for this iteration. The divisor is
-			// the out-degree of the contributor, from the forward graph.
-			for v := lo; v < hi; v++ {
-				ctx.Load(rPR.At(v))
-				if d := g.Degree(v); d > 0 {
-					contrib[v] = pr[v] / float64(d)
-				} else {
-					contrib[v] = 0
-				}
-				ctx.Compute(1)
-				ctx.Store(rCon.At(v))
-			}
-			ctx.Barrier(bar)
-			// Pull: sum in-neighbor contributions, no locks.
-			ctx.Active(hi - lo)
-			for v := lo; v < hi; v++ {
-				sum := 0.0
-				ctx.Load(rOff.At(v))
-				ts, _ := in.Neighbors(v)
-				ctx.LoadSpan(rTgt.At(int(in.Offsets[v])), len(ts), 4)
-				for _, u := range ts {
-					ctx.Load(rCon.At(int(u)))
-					ctx.Compute(1)
-					sum += contrib[u]
-				}
-				next[v] = DampingR + (1-DampingR)*sum
-				ctx.Store(rNext.At(v))
-				ctx.Active(-1)
-			}
-			ctx.Barrier(bar)
-			for v := lo; v < hi; v++ {
-				pr[v] = next[v]
-				ctx.Load(rNext.At(v))
-				ctx.Store(rPR.At(v))
-			}
-			ctx.Barrier(bar)
-		}
-	})
-
+	rep, err := pl.RunCtx(goCtx, threads, k.body)
 	if err != nil {
 		return nil, err
 	}
 
-	return &PageRankResult{Ranks: pr, Iterations: iters, Report: rep}, nil
+	res := &k.res
+	if s.detached() {
+		res = &PageRankResult{}
+	}
+	*res = PageRankResult{Ranks: k.pr, Iterations: iters, Report: rep}
+	return res, nil
+}
+
+func (k *pageRankPullRun) run(ctx exec.Ctx) {
+	g, in, pr, next, contrib := k.g, k.in, k.pr, k.next, k.contrib
+	threads, iters, n := k.threads, k.iters, k.g.N
+	rPR, rNext, rCon, rOff, rTgt, bar := k.rPR, k.rNext, k.rCon, k.rOff, k.rTgt, k.bar
+	tid := ctx.TID()
+	lo, hi := chunk(tid, threads, n)
+	for it := 0; it < iters; it++ {
+		if ctx.Checkpoint() != nil {
+			return
+		}
+		// Publish contributions for this iteration. The divisor is
+		// the out-degree of the contributor, from the forward graph.
+		for v := lo; v < hi; v++ {
+			ctx.Load(rPR.At(v))
+			if d := g.Degree(v); d > 0 {
+				contrib[v] = pr[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+			ctx.Compute(1)
+			ctx.Store(rCon.At(v))
+		}
+		ctx.Barrier(bar)
+		// Pull: sum in-neighbor contributions, no locks.
+		ctx.Active(hi - lo)
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			ctx.Load(rOff.At(v))
+			ts, _ := in.Neighbors(v)
+			ctx.LoadSpan(rTgt.At(int(in.Offsets[v])), len(ts), 4)
+			for _, u := range ts {
+				ctx.Load(rCon.At(int(u)))
+				ctx.Compute(1)
+				sum += contrib[u]
+			}
+			next[v] = DampingR + (1-DampingR)*sum
+			ctx.Store(rNext.At(v))
+			ctx.Active(-1)
+		}
+		ctx.Barrier(bar)
+		for v := lo; v < hi; v++ {
+			pr[v] = next[v]
+			ctx.Load(rNext.At(v))
+			ctx.Store(rPR.At(v))
+		}
+		ctx.Barrier(bar)
+	}
 }

@@ -24,10 +24,30 @@ const (
 	// KindSocial models the Facebook social graph (avg degree ~28,
 	// power-law).
 	KindSocial Kind = "social"
+	// KindSocialDense models a denser social network (Orkut-like, avg
+	// degree ~56, power-law). Not part of Table III; it exists because
+	// cache-aware reorderings are locality plays, and their payoff scales
+	// with how much neighbor traffic a cache line can serve — the dense
+	// family is where hub packing and RCM show their headline wins.
+	KindSocialDense Kind = "social-dense"
 )
 
-// Kinds lists all Table III graph families in paper order.
+// Kinds lists all Table III graph families in paper order. KindSocialDense
+// is deliberately absent: the paper-table reproductions iterate this slice
+// and must keep the paper's exact input matrix. Use KnownKind to validate
+// user-supplied kinds.
 var Kinds = []Kind{KindSparse, KindRoadTX, KindRoadPA, KindRoadCA, KindSocial}
+
+// KnownKind reports whether Generate understands kind (the Table III
+// families plus the dense social extension).
+func KnownKind(kind Kind) bool {
+	for _, k := range Kinds {
+		if kind == k {
+			return true
+		}
+	}
+	return kind == KindSocialDense
+}
 
 // Generate builds a graph of the given family with approximately n
 // vertices, deterministically from seed. Road networks differ between the
@@ -45,6 +65,8 @@ func Generate(kind Kind, n int, seed int64) *CSR {
 		return RoadNet(n, seed+3)
 	case KindSocial:
 		return SocialNet(n, 14, seed)
+	case KindSocialDense:
+		return SocialNet(n, 28, seed)
 	}
 	return UniformSparse(n, 8, 100, seed)
 }

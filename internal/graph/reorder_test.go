@@ -87,6 +87,118 @@ func TestReorderBFSRootOutOfRange(t *testing.T) {
 	}
 }
 
+func TestReorderRCMPreservesTopology(t *testing.T) {
+	for _, g := range []*CSR{
+		UniformSparse(300, 4, 20, 7),
+		RoadNet(400, 8),
+		SocialNet(300, 6, 5),
+		FromEdges(5, []Edge{{From: 0, To: 1, Weight: 1}, {From: 3, To: 4, Weight: 2}}, true),
+		FromEdges(4, nil, true), // edgeless: every vertex its own component
+	} {
+		rg, perm := ReorderRCM(g)
+		if !validPermutation(perm) {
+			t.Fatal("invalid permutation")
+		}
+		if err := rg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !sameTopology(g, rg, perm) {
+			t.Fatal("topology changed")
+		}
+	}
+}
+
+func TestReorderRCMReducesBandwidthOnRoad(t *testing.T) {
+	// Scramble a road network with hub packing (meaningless for a flat
+	// degree distribution), then check RCM restores neighbor locality.
+	g, _ := ReorderByDegree(RoadNet(2025, 11))
+	rg, _ := ReorderRCM(g)
+	before, after := Locality(g, 64), Locality(rg, 64)
+	if after <= before {
+		t.Fatalf("RCM locality %.3f not above %.3f", after, before)
+	}
+}
+
+func TestReorderDeterministic(t *testing.T) {
+	g := SocialNet(400, 8, 3)
+	for _, o := range Orders() {
+		a, err := Reorder(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Reorder(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Perm {
+			if a.Perm[v] != b.Perm[v] {
+				t.Fatalf("%s: permutation not deterministic at %d", o, v)
+			}
+		}
+	}
+}
+
+func TestReorderMapsRoundTrip(t *testing.T) {
+	g := RoadNet(300, 4)
+	for _, o := range []Order{OrderNone, OrderDegree, OrderRCM} {
+		ro, err := Reorder(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !validPermutation(ro.Perm) || !validPermutation(ro.Inv) {
+			t.Fatalf("%s: invalid maps", o)
+		}
+		for v := 0; v < g.N; v++ {
+			if ro.Inv[ro.Perm[v]] != int32(v) {
+				t.Fatalf("%s: inv(perm(%d)) = %d", o, v, ro.Inv[ro.Perm[v]])
+			}
+		}
+		// Un-permuting data laid out in permuted space must restore the
+		// original layout.
+		permuted := make([]int32, g.N)
+		for v := 0; v < g.N; v++ {
+			permuted[ro.Perm[v]] = int32(v) * 10
+		}
+		back := ApplyVertexPermutation(permuted, ro.Inv)
+		for v := 0; v < g.N; v++ {
+			if back[v] != int32(v)*10 {
+				t.Fatalf("%s: round trip broke at %d", o, v)
+			}
+		}
+	}
+	if _, err := Reorder(g, Order("bogus")); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+	if _, err := Reorder(nil, OrderDegree); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestReorderNoneIsIdentity(t *testing.T) {
+	g := RoadNet(100, 2)
+	ro, err := Reorder(g, OrderNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.G != g {
+		t.Fatal("OrderNone rebuilt the graph")
+	}
+	for v := 0; v < g.N; v++ {
+		if ro.Perm[v] != int32(v) || ro.Inv[v] != int32(v) {
+			t.Fatalf("identity maps broken at %d", v)
+		}
+	}
+}
+
+func TestPickOrder(t *testing.T) {
+	if o := PickOrder(SocialNet(4096, 14, 1)); o != OrderDegree {
+		t.Fatalf("social graph picked %s, want degree", o)
+	}
+	if o := PickOrder(RoadNet(4096, 1)); o != OrderRCM {
+		t.Fatalf("road graph picked %s, want rcm", o)
+	}
+}
+
 func TestApplyVertexPermutation(t *testing.T) {
 	in := []int32{10, 20, 30}
 	perm := []int32{2, 0, 1}

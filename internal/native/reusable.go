@@ -1,0 +1,325 @@
+package native
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crono/internal/exec"
+)
+
+// Reusable is the warm-loop variant of the native platform: worker
+// goroutines, per-thread counters, the report and its slices all persist
+// across runs, so a warm RunCtx performs zero heap allocations. Together
+// with core.Scratch it is what lets testing.AllocsPerRun pin the
+// steady-state allocation count of the frontier kernels at exactly zero.
+//
+// The trade-offs against Platform:
+//
+//   - Serial use only: one RunCtx at a time (concurrent runs would share
+//     the worker fleet and the report). Pool instances for concurrency.
+//   - Active-vertex traces are discarded (Report.ActiveTrace is nil);
+//     reconstructing them requires per-sample appends and a sort.
+//   - The returned *exec.Report is owned by the platform and overwritten
+//     by the next run.
+//   - Close must be called when done, or the parked workers leak.
+type Reusable struct {
+	// MeasureLockWait mirrors Platform.MeasureLockWait.
+	MeasureLockWait bool
+
+	allocMu sync.Mutex
+	next    exec.Addr
+
+	workers []chan struct{}
+	ctxs    []rctx
+	states  []threadState
+	body    func(exec.Ctx)
+	wg      sync.WaitGroup
+
+	run    rrunState
+	rep    exec.Report
+	instr  []uint64
+	ttime  []uint64
+	closed bool
+}
+
+var _ exec.Platform = (*Reusable)(nil)
+
+// NewReusable returns a reusable native platform with parked worker
+// goroutines created on demand.
+func NewReusable() *Reusable { return &Reusable{} }
+
+// Name implements exec.Platform.
+func (r *Reusable) Name() string { return "native" }
+
+// Alloc implements exec.Platform, identically to Platform.Alloc.
+func (r *Reusable) Alloc(name string, elems, elemSize int) exec.Region {
+	r.allocMu.Lock()
+	defer r.allocMu.Unlock()
+	if r.next == 0 {
+		r.next = exec.LineSize
+	}
+	base := r.next
+	bytes := uint64(elems) * uint64(elemSize)
+	bytes = (bytes + exec.LineSize - 1) &^ uint64(exec.LineSize-1)
+	r.next += bytes
+	return exec.Region{Name: name, Base: base, ElemSize: uint64(elemSize), Elems: uint64(elems)}
+}
+
+// NewLock implements exec.Platform.
+func (r *Reusable) NewLock() exec.Lock { return &nativeLock{} }
+
+// rrunState is the platform's single, reusable run state.
+type rrunState struct {
+	startNs int64
+	measure bool
+	cause   context.Context
+	aborted atomic.Bool
+
+	// Barriers created on this platform; trip broadcasts them all so
+	// waiters blocked in cond.Wait observe the abort.
+	barMu sync.Mutex
+	bars  []*condBarrier
+}
+
+func (s *rrunState) trip() {
+	if !s.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	s.barMu.Lock()
+	for _, b := range s.bars {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	s.barMu.Unlock()
+}
+
+// condBarrier is a generation-counting barrier on a sync.Cond: unlike
+// nativeBarrier it needs no fresh channel per generation, so barrier
+// crossings are allocation-free. Abort wakeups arrive as a Broadcast
+// from rrunState.trip.
+type condBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+	run     *rrunState
+}
+
+// NewBarrier implements exec.Platform. Barriers persist and are
+// registered with the run state for abort broadcast; create them once
+// (core.Scratch caches one per platform) rather than per run.
+func (r *Reusable) NewBarrier(parties int) exec.Barrier {
+	b := &condBarrier{parties: parties, run: &r.run}
+	b.cond = sync.NewCond(&b.mu)
+	r.run.barMu.Lock()
+	r.run.bars = append(r.run.bars, b)
+	r.run.barMu.Unlock()
+	return b
+}
+
+func (b *condBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.gen == gen && !b.run.aborted.Load() {
+		b.cond.Wait()
+	}
+	if b.gen == gen {
+		// Aborted before the generation completed: withdraw the arrival
+		// so a barrier reused after an aborted run still needs a full
+		// complement of parties.
+		b.waiting--
+	}
+	b.mu.Unlock()
+}
+
+// rctx is the per-thread execution context. The slice entries are
+// stable for the duration of a run; pointers into states are refreshed
+// before each run in case the fleet grew.
+type rctx struct {
+	tid     int
+	threads int
+	run     *rrunState
+	st      *threadState
+}
+
+var _ exec.Ctx = (*rctx)(nil)
+
+func (c *rctx) TID() int     { return c.tid }
+func (c *rctx) Threads() int { return c.threads }
+
+func (c *rctx) Load(exec.Addr)  { c.st.instr++ }
+func (c *rctx) Store(exec.Addr) { c.st.instr++ }
+func (c *rctx) Compute(n int)   { c.st.instr += uint64(n) }
+
+func (c *rctx) AtomicLoad(exec.Addr)  { c.st.instr++ }
+func (c *rctx) AtomicStore(exec.Addr) { c.st.instr++ }
+func (c *rctx) AtomicRMW(exec.Addr)   { c.st.instr++ }
+
+func (c *rctx) LoadSpan(_ exec.Addr, elems, _ int) {
+	if elems > 0 {
+		c.st.instr += uint64(elems)
+	}
+}
+
+func (c *rctx) StoreSpan(_ exec.Addr, elems, _ int) {
+	if elems > 0 {
+		c.st.instr += uint64(elems)
+	}
+}
+
+func (c *rctx) Lock(l exec.Lock) {
+	c.st.instr++
+	nl := l.(*nativeLock)
+	if c.run.measure {
+		t0 := time.Now()
+		nl.mu.Lock()
+		c.st.syncNs += uint64(time.Since(t0))
+		return
+	}
+	nl.mu.Lock()
+}
+
+func (c *rctx) Unlock(l exec.Lock) {
+	c.st.instr++
+	l.(*nativeLock).mu.Unlock()
+}
+
+func (c *rctx) Barrier(b exec.Barrier) {
+	nb := b.(*condBarrier)
+	t0 := time.Now()
+	nb.wait()
+	c.st.syncNs += uint64(time.Since(t0))
+}
+
+func (c *rctx) Checkpoint() error {
+	if err := c.run.cause.Err(); err != nil {
+		c.run.trip()
+		return err
+	}
+	return nil
+}
+
+// Active discards the sample: reconstructing the active-vertex gauge
+// requires unbounded appends, which the reusable platform trades away.
+func (c *rctx) Active(int) {}
+
+// ensure grows the worker fleet and per-thread state to the given
+// parallelism. Workers park on their wake channel between runs.
+func (r *Reusable) ensure(threads int) {
+	for len(r.states) < threads {
+		r.states = append(r.states, threadState{})
+		r.ctxs = append(r.ctxs, rctx{})
+	}
+	for len(r.workers) < threads {
+		wake := make(chan struct{}, 1)
+		tid := len(r.workers)
+		r.workers = append(r.workers, wake)
+		go func() {
+			for range wake {
+				c := &r.ctxs[tid]
+				t0 := time.Now()
+				r.body(c)
+				c.st.busyNs = uint64(time.Since(t0))
+				r.wg.Done()
+			}
+		}()
+	}
+}
+
+// Run implements exec.Platform.
+func (r *Reusable) Run(threads int, body func(exec.Ctx)) *exec.Report {
+	rep, _ := r.RunCtx(context.Background(), threads, body)
+	return rep
+}
+
+// RunCtx implements exec.Platform. Cancellation semantics match
+// Platform.RunCtx; the returned report is platform-owned and valid
+// until the next run.
+func (r *Reusable) RunCtx(goCtx context.Context, threads int, body func(exec.Ctx)) (*exec.Report, error) {
+	if r.closed {
+		return nil, fmt.Errorf("native: platform closed")
+	}
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	r.ensure(threads)
+	for t := 0; t < threads; t++ {
+		r.states[t].instr = 0
+		r.states[t].busyNs = 0
+		r.states[t].syncNs = 0
+		r.ctxs[t] = rctx{tid: t, threads: threads, run: &r.run, st: &r.states[t]}
+	}
+	r.run.measure = r.MeasureLockWait
+	r.run.cause = goCtx
+	r.run.aborted.Store(false)
+	r.body = body
+
+	start := time.Now()
+	r.run.startNs = start.UnixNano()
+	r.wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		r.workers[t] <- struct{}{}
+	}
+	r.wg.Wait()
+	if err := goCtx.Err(); err != nil {
+		return nil, err
+	}
+	elapsed := uint64(time.Since(start))
+
+	if cap(r.instr) < threads {
+		r.instr = make([]uint64, threads)
+		r.ttime = make([]uint64, threads)
+	}
+	r.instr = r.instr[:threads]
+	r.ttime = r.ttime[:threads]
+	var syncNs uint64
+	for t := 0; t < threads; t++ {
+		r.instr[t] = r.states[t].instr
+		r.ttime[t] = r.states[t].busyNs
+		syncNs += r.states[t].syncNs
+	}
+	r.rep = exec.Report{
+		Platform:     r.Name(),
+		Threads:      threads,
+		Time:         elapsed,
+		HostNs:       elapsed,
+		Instructions: r.instr,
+		ThreadTime:   r.ttime,
+	}
+	r.rep.Breakdown[exec.CompSync] = syncNs
+	total := elapsed * uint64(threads)
+	if total > syncNs {
+		r.rep.Breakdown[exec.CompCompute] = total - syncNs
+	}
+	return &r.rep, nil
+}
+
+// Close stops the parked workers. The platform cannot run afterwards.
+func (r *Reusable) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, w := range r.workers {
+		close(w)
+	}
+}

@@ -1,0 +1,151 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crono/internal/exec"
+)
+
+func TestReusableCountsInstructions(t *testing.T) {
+	p := NewReusable()
+	defer p.Close()
+	r := p.Alloc("x", 64, 4)
+	rep := p.Run(3, func(c exec.Ctx) {
+		c.Load(r.At(0))
+		c.Store(r.At(1))
+		c.Compute(5)
+		c.LoadSpan(r.At(0), 10, 4)
+		c.StoreSpan(r.At(0), 3, 4)
+	})
+	if rep.Threads != 3 {
+		t.Fatalf("threads %d", rep.Threads)
+	}
+	for tid, n := range rep.Instructions {
+		if n != 1+1+5+10+3 {
+			t.Fatalf("thread %d counted %d instructions, want 20", tid, n)
+		}
+	}
+	if rep.Time == 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestReusableBarrierSynchronizesPhases(t *testing.T) {
+	p := NewReusable()
+	defer p.Close()
+	bar := p.NewBarrier(4)
+	var phase atomic.Int32
+	fail := atomic.Bool{}
+	for run := 0; run < 3; run++ { // reuse the same barrier across runs
+		p.Run(4, func(c exec.Ctx) {
+			for round := int32(1); round <= 10; round++ {
+				phase.Store(round)
+				c.Barrier(bar)
+				if phase.Load() != round {
+					fail.Store(true)
+				}
+				c.Barrier(bar)
+			}
+		})
+	}
+	if fail.Load() {
+		t.Fatal("thread escaped a barrier early")
+	}
+}
+
+func TestReusableGrowsAndShrinksThreads(t *testing.T) {
+	p := NewReusable()
+	defer p.Close()
+	for _, threads := range []int{2, 8, 1, 4} {
+		var ran atomic.Int32
+		rep := p.Run(threads, func(c exec.Ctx) {
+			if c.Threads() != threads {
+				t.Errorf("ctx threads %d, want %d", c.Threads(), threads)
+			}
+			ran.Add(1)
+		})
+		if int(ran.Load()) != threads || rep.Threads != threads {
+			t.Fatalf("run with %d threads executed %d bodies", threads, ran.Load())
+		}
+		if len(rep.Instructions) != threads {
+			t.Fatalf("report has %d instruction slots, want %d", len(rep.Instructions), threads)
+		}
+	}
+}
+
+func TestReusableCancellationReleasesBarrierWaiters(t *testing.T) {
+	p := NewReusable()
+	defer p.Close()
+	bar := p.NewBarrier(2)
+	goCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.RunCtx(goCtx, 2, func(c exec.Ctx) {
+			if c.TID() == 0 {
+				// Exit immediately on cancellation; thread 1 is parked at
+				// the barrier and must be released by the abort broadcast.
+				for c.Checkpoint() == nil {
+					time.Sleep(time.Millisecond)
+				}
+				return
+			}
+			c.Barrier(bar)
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not release the barrier waiter")
+	}
+
+	// The platform must stay usable after an aborted run, including the
+	// same barrier instance.
+	var ran atomic.Int32
+	p.Run(2, func(c exec.Ctx) {
+		c.Barrier(bar)
+		ran.Add(1)
+	})
+	if ran.Load() != 2 {
+		t.Fatalf("post-abort run executed %d bodies, want 2", ran.Load())
+	}
+}
+
+func TestReusableClosedRejectsRuns(t *testing.T) {
+	p := NewReusable()
+	p.Run(2, func(exec.Ctx) {})
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.RunCtx(context.Background(), 2, func(exec.Ctx) {}); err == nil {
+		t.Fatal("closed platform accepted a run")
+	}
+}
+
+func TestReusableWarmRunAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	p := NewReusable()
+	defer p.Close()
+	bar := p.NewBarrier(4)
+	body := func(c exec.Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Compute(1)
+			c.Barrier(bar)
+		}
+		c.Active(1) // discarded, must not allocate
+	}
+	p.Run(4, body) // warm-up: fleet + report slices
+	if n := testing.AllocsPerRun(20, func() { p.Run(4, body) }); n != 0 {
+		t.Fatalf("warm Run allocates %.0f objects per run, want 0", n)
+	}
+}

@@ -57,15 +57,16 @@ type batchGroup struct {
 
 // batcher collects open batch groups. A group is keyed by everything in
 // the run cache key except the source vertex, so members are guaranteed
-// to want the same kernel on the same input with the same options.
+// to want the same kernel on the same input with the same options. The
+// collection window is computed per group from queue pressure
+// (adaptiveBatchWindow), not stored here.
 type batcher struct {
 	mu     sync.Mutex
-	window time.Duration
 	groups map[string]*batchGroup
 }
 
-func newBatcher(window time.Duration) *batcher {
-	return &batcher{window: window, groups: make(map[string]*batchGroup)}
+func newBatcher() *batcher {
+	return &batcher{groups: make(map[string]*batchGroup)}
 }
 
 // batchKey derives the group key: the cache-key fields minus the source.
@@ -77,15 +78,44 @@ func batchKey(versionID string, bench core.Benchmark, req *runRequest) string {
 // batching is on, the kernel has a bit-parallel multi-source form (BFS),
 // the run is native (sim runs are timing experiments — perturbing them
 // with unrelated sources would corrupt the measurement), the strategy is
-// not the paper-fidelity scan, and the run is not an incremental repair
-// (those seed from a specific parent result).
+// not the paper-fidelity scan, the run is not reordered (the batch pass
+// runs over the original layout), and the run is not an incremental
+// repair (those seed from a specific parent result).
 func (s *Server) batchable(bench core.Benchmark, req *runRequest, meta *runMeta, g *graph.CSR) bool {
 	return s.cfg.BatchWindow > 0 &&
 		bench.Name == "BFS" &&
 		req.Platform == "native" &&
 		req.Strategy != string(core.StrategyScan) &&
+		meta.order == graph.OrderNone &&
 		meta.inc == nil &&
 		g != nil
+}
+
+// maxBatchWindowScale caps the adaptive batch window at this multiple of
+// the configured base.
+const maxBatchWindowScale = 8
+
+// adaptiveBatchWindow scales a base batch window with queue pressure:
+// with an idle pool the window stays at the base (batching must not add
+// latency when the server could just run the request), and as the queue
+// deepens the window stretches — each multiple of worker parallelism
+// queued adds one base-window of patience, clamped at
+// maxBatchWindowScale× — because under saturation wider batches are how
+// the backlog drains (K sources per traversal instead of 1).
+func adaptiveBatchWindow(base time.Duration, depth, workers int) time.Duration {
+	if base <= 0 || workers < 1 {
+		return base
+	}
+	scale := 1 + depth/workers
+	if scale > maxBatchWindowScale {
+		scale = maxBatchWindowScale
+	}
+	return base * time.Duration(scale)
+}
+
+// batchWindow is the adaptive window for the current pool state.
+func (s *Server) batchWindow() time.Duration {
+	return adaptiveBatchWindow(s.cfg.BatchWindow, int(s.pool.Depth()), s.cfg.Workers)
 }
 
 // joinBatch enrolls the request in its batch group (creating and arming
@@ -107,7 +137,7 @@ func (s *Server) joinBatch(ctx context.Context, bench core.Benchmark, g *graph.C
 	if grp == nil || len(grp.members) >= core.BFSBatchWidth {
 		grp = &batchGroup{key: key, bench: bench, g: g, req: *req, meta: *meta}
 		b.groups[key] = grp
-		grp.timer = time.AfterFunc(b.window, func() {
+		grp.timer = time.AfterFunc(s.batchWindow(), func() {
 			b.mu.Lock()
 			if b.groups[key] == grp {
 				delete(b.groups, key)

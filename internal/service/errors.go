@@ -41,6 +41,7 @@ const (
 	codeUnknownPlatform   = "unknown-platform"
 	codeUnknownStrategy   = "unknown-strategy"
 	codeThreadsOutOfRange = "threads-out-of-range"
+	codeUnknownOrder      = "unknown-order"       // order not none/auto/degree/rcm
 	codeBadParams         = "bad-params"          // negative iters/maxPasses/delta
 	codeSimThreadOverflow = "sim-thread-overflow" // threads exceed simulated cores
 	codeCitiesOutOfRange  = "cities-out-of-range" // TSP cities outside [3, 20]

@@ -128,7 +128,15 @@ type runRequest struct {
 	// path); paper-fidelity experiments should pass "scan" explicitly,
 	// and "hybrid" selects the direction-optimizing kernels.
 	Strategy string `json:"strategy,omitempty"`
-	Threads  int    `json:"threads,omitempty"`
+	// Order requests a cache-aware vertex reordering: "none" (default),
+	// "degree" (hub packing), "rcm" (bandwidth reduction) or "auto" (pick
+	// from the graph's degree skew). The reordered CSR is materialized
+	// lazily per graph version and memoized; results always come back in
+	// original vertex ids (the kernel un-permutes before returning).
+	// Kernels without a label-invariant result (COMM) and non-CSR inputs
+	// ignore it.
+	Order   string `json:"order,omitempty"`
+	Threads int    `json:"threads,omitempty"`
 	// Source is the start vertex of SSSP/BFS/DFS.
 	Source int `json:"source,omitempty"`
 	// Iters bounds PageRank iterations (0 = kernel default).
@@ -171,6 +179,9 @@ type runResponse struct {
 	// multi-source kernel pass that coalesced this request with other
 	// in-flight sources on the same graph version (see Config.BatchWindow).
 	Batched bool `json:"batched,omitempty"`
+	// Order is the resolved vertex ordering the kernel ran under ("auto"
+	// resolves to the concrete policy). Omitted for unordered runs.
+	Order string `json:"order,omitempty"`
 	// TimeUnit is "cycles" on sim, "ns" on native.
 	TimeUnit          string            `json:"timeUnit"`
 	Time              uint64            `json:"time"`
@@ -223,6 +234,12 @@ type runMeta struct {
 	graphID   string
 	versionID string
 	inc       *incrementalSeed
+	// ver is the resolved version; order is the resolved (concrete)
+	// ordering. When order is not OrderNone, execute materializes
+	// ver.Ordered(order) on the worker — ordered runs opt out of
+	// incremental repair and batching.
+	ver   *Version
+	order graph.Order
 }
 
 // ---- helpers ----
@@ -269,10 +286,14 @@ func graphToResponse(sg *StoredGraph, v *Version) graphResponse {
 
 // runCacheKey builds the result-cache key. inputKey is the resolved
 // version ID for graph kernels (the lineage fingerprint makes per-version
-// results safe with zero invalidation), or the TSP parameter string.
-func runCacheKey(inputKey string, bench core.Benchmark, req *runRequest) string {
-	return fmt.Sprintf("run|%s|%s|%s|st=%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
-		inputKey, bench.Name, req.Platform, req.Strategy, req.Threads, req.Source,
+// results safe with zero invalidation), or the TSP parameter string. ord
+// is the *resolved* ordering, so "auto" shares cache entries with the
+// concrete policy it resolves to (results are identical by the
+// permutation contract, but the schedule statistics differ, hence the
+// key split from "none").
+func runCacheKey(inputKey string, bench core.Benchmark, req *runRequest, ord graph.Order) string {
+	return fmt.Sprintf("run|%s|%s|%s|st=%s|ord=%s|t=%d|src=%d|it=%d|mp=%d|dl=%d|tg=%d|cores=%d|ooo=%t",
+		inputKey, bench.Name, req.Platform, req.Strategy, ord, req.Threads, req.Source,
 		req.Iters, req.MaxPasses, req.Delta, req.Target, req.SimCores, req.OutOfOrder)
 }
 
@@ -313,14 +334,7 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		desc = "uploaded:" + req.Format
 	case req.Kind != "":
-		known := false
-		for _, k := range graph.Kinds {
-			if graph.Kind(req.Kind) == k {
-				known = true
-				break
-			}
-		}
-		if !known {
+		if !graph.KnownKind(graph.Kind(req.Kind)) {
 			writeError(w, http.StatusBadRequest, codeUnknownKind, "unknown graph kind %q", req.Kind)
 			return
 		}
@@ -574,6 +588,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			req.Strategy, core.StrategyScan, core.StrategyFrontier, core.StrategyHybrid)
 		return
 	}
+	if req.Order != "" && req.Order != "auto" && !graph.Order(req.Order).Valid() {
+		writeError(w, http.StatusBadRequest, codeUnknownOrder,
+			"unknown order %q (want %q, %q, %q or %q)",
+			req.Order, graph.OrderNone, "auto", graph.OrderDegree, graph.OrderRCM)
+		return
+	}
 	if req.Threads == 0 {
 		req.Threads = 8
 	}
@@ -598,7 +618,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve the kernel input and the graph component of the cache key.
 	in := core.Input{Source: req.Source}
-	meta := runMeta{}
+	meta := runMeta{order: graph.OrderNone}
 	var inputKey string
 	switch {
 	case bench.UsesCities:
@@ -640,11 +660,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		meta.graphID = sg.ID
 		meta.versionID = ver.ID
+		meta.ver = ver
 		inputKey = ver.ID
-		meta.inc = s.incrementalSeed(bench, ver, g, &req)
+		// Resolve the requested ordering against this input. Only CSR
+		// kernels with a label-invariant result consume it; everything
+		// else (dense kernels, COMM) resolves to none so the request
+		// shares the unordered cache entry.
+		if req.Order != "" && req.Order != string(graph.OrderNone) &&
+			!bench.UsesMatrix && core.Orderable(bench.Name) {
+			if req.Order == "auto" {
+				meta.order = ver.AutoOrder()
+			} else {
+				meta.order = graph.Order(req.Order)
+			}
+		}
+		if meta.order == graph.OrderNone {
+			// Reordered runs opt out of incremental repair: the cached
+			// parent payload is in original vertex ids while the repair
+			// choreography would walk the permuted CSR.
+			meta.inc = s.incrementalSeed(bench, ver, g, &req)
+		}
 	}
 
-	key := runCacheKey(inputKey, bench, &req)
+	key := runCacheKey(inputKey, bench, &req, meta.order)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -698,7 +736,7 @@ func (s *Server) incrementalSeed(bench core.Benchmark, ver *Version, g *graph.CS
 	if !core.IncrementalOK(bench.Name, len(ver.Delta.Inserts), len(ver.Delta.Deletes), g.M()) {
 		return nil
 	}
-	pv, ok := s.cache.Peek(runCacheKey(ver.Parent, bench, req))
+	pv, ok := s.cache.Peek(runCacheKey(ver.Parent, bench, req, graph.OrderNone))
 	if !ok {
 		return nil
 	}
@@ -721,6 +759,15 @@ func (s *Server) incrementalSeed(bench core.Benchmark, ver *Version, g *graph.CS
 		}
 	}
 	return nil
+}
+
+// orderLabel renders the resolved ordering for the wire response: empty
+// for unordered runs so the field is omitted.
+func orderLabel(o graph.Order) string {
+	if o == graph.OrderNone {
+		return ""
+	}
+	return string(o)
 }
 
 // errReason maps a run failure to the crono_run_errors_total reason label.
@@ -817,6 +864,27 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		start := time.Now()
+		// Materialize the reordered CSR on the worker, not the handler:
+		// the first run on a (version, order) pays the permutation build
+		// (memoized in the store), later runs get it for free.
+		if meta.order != graph.OrderNone && meta.ver != nil {
+			ro, roErr := meta.ver.Ordered(meta.order)
+			if roErr != nil {
+				runErr = roErr
+				return
+			}
+			creq.Reorder = ro
+		}
+		// Native runs borrow a pooled scratch in serving mode: internal
+		// kernel buffers (worklists, marks, band minima) are reused across
+		// requests while result-bearing arrays stay freshly allocated, so
+		// cache entries never alias pooled memory.
+		if in.G != nil && req.Platform == "native" {
+			sc := s.scratches.Get(in.G.N)
+			sc.DetachResults = true
+			creq.Scratch = sc
+			defer s.scratches.Put(sc)
+		}
 		// The request context reaches the kernel's Checkpoint polls: a
 		// canceled or deadlined request aborts the run within one kernel
 		// round, freeing this worker slot long before the kernel would
@@ -858,6 +926,7 @@ func (s *Server) execute(ctx context.Context, bench core.Benchmark, in core.Inpu
 		Graph:             meta.graphID,
 		GraphVersion:      meta.versionID,
 		Incremental:       incremental,
+		Order:             orderLabel(meta.order),
 		TimeUnit:          "ns",
 		Time:              rep.Time,
 		TotalInstructions: rep.TotalInstructions(),

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"crono/internal/core"
 )
 
 // Config parametrizes a Server. The zero value is not valid; start from
@@ -148,6 +150,10 @@ type Server struct {
 	batches *batcher
 	m       *serverMetrics
 	mux     *http.ServeMux
+	// scratches pools kernel workspaces by graph-size class: native runs
+	// borrow one per execution (in DetachResults serving mode) so warm
+	// kernels stop allocating their O(n) internal buffers per request.
+	scratches core.ScratchPool
 	// inflight counts kernel executions currently running on pool
 	// workers (queued tasks are not in flight; dropped tasks never
 	// increment). The stress harness asserts it returns to zero after
@@ -163,7 +169,7 @@ func New(cfg Config) *Server {
 		store:   NewStore(cfg.MaxGraphs),
 		pool:    NewPool(cfg.Workers, cfg.QueueLen),
 		cache:   NewCache(cfg.CacheEntries),
-		batches: newBatcher(cfg.BatchWindow),
+		batches: newBatcher(),
 		mux:     http.NewServeMux(),
 	}
 	s.m = s.newMetrics()

@@ -56,6 +56,19 @@ type Version struct {
 	csr       *graph.CSR
 	denseOnce sync.Once
 	dense     *graph.Dense
+	autoOnce  sync.Once
+	auto      graph.Order
+	orderMu   sync.Mutex // guards orders map shape; entries synchronize themselves
+	orders    map[graph.Order]*orderedVersion
+}
+
+// orderedVersion memoizes one reordered materialization of a version.
+// The once is per (version, order): concurrent first requests share one
+// permutation build, later requests get the cached Reordered for free.
+type orderedVersion struct {
+	once sync.Once
+	ro   *graph.Reordered
+	err  error
 }
 
 // DeltaSize is the number of mutations from the parent (0 for the root).
@@ -86,6 +99,37 @@ func (v *Version) Graph() *graph.CSR {
 func (v *Version) Dense() *graph.Dense {
 	v.denseOnce.Do(func() { v.dense = graph.DenseFromCSR(v.Graph()) })
 	return v.dense
+}
+
+// Ordered returns the reordered materialization of this version under the
+// named (non-identity) ordering, built on first use and memoized per
+// (version, order) — the same lazy discipline as Graph and Dense.
+// Concurrent first callers share one permutation build.
+func (v *Version) Ordered(o graph.Order) (*graph.Reordered, error) {
+	if o == graph.OrderNone {
+		return graph.Reorder(v.Graph(), graph.OrderNone)
+	}
+	v.orderMu.Lock()
+	if v.orders == nil {
+		v.orders = make(map[graph.Order]*orderedVersion, 2)
+	}
+	e := v.orders[o]
+	if e == nil {
+		e = &orderedVersion{}
+		v.orders[o] = e
+	}
+	v.orderMu.Unlock()
+	e.once.Do(func() { e.ro, e.err = graph.Reorder(v.Graph(), o) })
+	return e.ro, e.err
+}
+
+// AutoOrder picks this version's ordering from its degree skew
+// (graph.PickOrder): hub packing for power-law graphs, RCM bandwidth
+// reduction for flat-degree road/mesh graphs. Memoized — the skew scan is
+// O(N) and version content is immutable.
+func (v *Version) AutoOrder() graph.Order {
+	v.autoOnce.Do(func() { v.auto = graph.PickOrder(v.Graph()) })
+	return v.auto
 }
 
 // StoredGraph is one resident lineage: a chain of immutable versions

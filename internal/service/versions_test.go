@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"crono/internal/core"
+	"crono/internal/graph"
 )
 
 func patchJSON(t *testing.T, url string, body any) *http.Response {
@@ -579,12 +580,15 @@ func TestVersionedCacheKeyFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := runCacheKey("v0000000000000001", bench, &req)
-	b := runCacheKey("v0000000000000002", bench, &req)
+	a := runCacheKey("v0000000000000001", bench, &req, graph.OrderNone)
+	b := runCacheKey("v0000000000000002", bench, &req, graph.OrderNone)
 	if a == b {
 		t.Fatal("distinct versions share a cache key")
 	}
 	if !strings.Contains(a, "v0000000000000001") {
 		t.Fatalf("key %q does not embed the version ID", a)
+	}
+	if c := runCacheKey("v0000000000000001", bench, &req, graph.OrderDegree); c == a {
+		t.Fatal("ordered and unordered runs share a cache key")
 	}
 }

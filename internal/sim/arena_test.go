@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// TestLineStatArenaPointersStable: handed-out entries must keep their
+// identity and contents as slabs grow, exactly like individually
+// heap-allocated lineStats would.
+func TestLineStatArenaPointersStable(t *testing.T) {
+	var a lineStatArena
+	n := lineStatBlock*3 + 7 // force several slab rollovers
+	ptrs := make([]*lineStat, n)
+	for i := 0; i < n; i++ {
+		ls := a.get()
+		if ls.busy != 0 || ls.horizon != 0 || ls.count != 0 {
+			t.Fatalf("entry %d not zero-valued", i)
+		}
+		ls.count = uint64(i) + 1
+		ptrs[i] = ls
+	}
+	for i, ls := range ptrs {
+		if ls.count != uint64(i)+1 {
+			t.Fatalf("entry %d clobbered: count %d", i, ls.count)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if ptrs[i] == ptrs[i-1] {
+			t.Fatalf("entries %d and %d alias", i-1, i)
+		}
+	}
+	if len(a.slabs) != 4 {
+		t.Fatalf("expected 4 slabs for %d entries, got %d", n, len(a.slabs))
+	}
+}
+
+// TestHomeShardLineStatMemoized: repeated lookups of a line return the
+// same arena entry.
+func TestHomeShardLineStatMemoized(t *testing.T) {
+	hs := &homeShard{lines: make(map[uint64]*lineStat)}
+	a := hs.lineStat(42)
+	b := hs.lineStat(42)
+	if a != b {
+		t.Fatal("lineStat not memoized")
+	}
+	if hs.lineStat(43) == a {
+		t.Fatal("distinct lines share a stat entry")
+	}
+}

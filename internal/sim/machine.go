@@ -129,6 +129,7 @@ type homeShard struct {
 	l2    *cache.Locked
 	dir   *coherence.Dir
 	lines map[uint64]*lineStat // per-line home-serialization stats
+	arena lineStatArena        // slab storage behind the lines map
 }
 
 var _ exec.Platform = (*Machine)(nil)
@@ -289,12 +290,40 @@ type lineStat struct {
 	count   uint64 // transactions served
 }
 
-// lineStat returns (allocating if needed) the stats of a line homed on
-// this shard. Caller holds the home-stripe lock.
+// lineStatBlock is the lineStatArena slab size: large enough to
+// amortize slab allocation over a graph-sized working set, small enough
+// not to waste memory on tiny runs.
+const lineStatBlock = 512
+
+// lineStatArena is a slab allocator for lineStat entries. The miss path
+// creates one entry per distinct line homed on the tile — for graph
+// kernels that is millions of map inserts each formerly paired with its
+// own tiny heap allocation. Slabs cut that to one allocation per
+// lineStatBlock entries. Handed-out pointers stay valid forever: slabs
+// are append-only and never moved or shrunk. Caller holds the
+// home-stripe lock; entries are zero-valued exactly like &lineStat{}.
+type lineStatArena struct {
+	slabs [][]lineStat
+	used  int // entries used in the newest slab
+}
+
+func (a *lineStatArena) get() *lineStat {
+	if len(a.slabs) == 0 || a.used == lineStatBlock {
+		a.slabs = append(a.slabs, make([]lineStat, lineStatBlock))
+		a.used = 0
+	}
+	ls := &a.slabs[len(a.slabs)-1][a.used]
+	a.used++
+	return ls
+}
+
+// lineStat returns (allocating from the tile's arena if needed) the
+// stats of a line homed on this shard. Caller holds the home-stripe
+// lock.
 func (hs *homeShard) lineStat(line uint64) *lineStat {
 	ls := hs.lines[line]
 	if ls == nil {
-		ls = &lineStat{}
+		ls = hs.arena.get()
 		hs.lines[line] = ls
 	}
 	return ls
